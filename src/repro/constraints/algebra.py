@@ -1,0 +1,216 @@
+"""The temporal-constraint algebra CONSTR (Definition 3.2).
+
+CONSTR is the paper's constraint language over significant events, as
+expressive as Singh's event algebra:
+
+* **primitive constraints** — ``∇e`` ("event e must happen") and ``¬∇e``
+  ("e must not happen");
+* **serial constraints** — ``∇e₁ ⊗ … ⊗ ∇eₙ`` over *positive* primitives
+  ("all happen, in this order"); the two-event case ``∇α ⊗ ∇β`` is called
+  an *order constraint*;
+* **complex constraints** — closures under ``∧`` and ``∨``.
+
+Although Definition 3.2 does not state closure under negation, Lemma 3.4
+shows CONSTR is negation-closed; :func:`repro.constraints.normalize.negate`
+implements that construction, and the ``~`` operator delegates to it.
+
+The classes here are immutable and hashable. The operator DSL mirrors the
+logic: ``c & d`` is conjunction, ``c | d`` disjunction, ``~c`` negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import ConstraintError
+
+__all__ = [
+    "Constraint",
+    "Primitive",
+    "SerialConstraint",
+    "And",
+    "Or",
+    "must",
+    "absent",
+    "serial",
+    "order",
+    "conj",
+    "disj",
+    "constraint_events",
+    "walk_constraint",
+]
+
+
+class Constraint:
+    """Base class of CONSTR constraints, with an operator DSL."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return conj(self, other)
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return disj(self, other)
+
+    def __invert__(self) -> "Constraint":
+        from .normalize import negate
+
+        return negate(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Constraint {self}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Primitive(Constraint):
+    """``∇e`` (``positive=True``) or ``¬∇e`` (``positive=False``)."""
+
+    event: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.event:
+            raise ConstraintError("primitive constraint needs an event name")
+
+    def __str__(self) -> str:
+        return f"happens({self.event})" if self.positive else f"never({self.event})"
+
+
+@dataclass(frozen=True, slots=True)
+class SerialConstraint(Constraint):
+    """``∇e₁ ⊗ … ⊗ ∇eₙ`` — the events all occur, in the given order.
+
+    Only *positive* primitives may be chained serially (Definition 3.2);
+    the events must be pairwise distinct because of the unique-event
+    assumption (a repeated event could never satisfy the constraint).
+    """
+
+    events: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.events) < 2:
+            raise ConstraintError("serial constraints need >= 2 events; use must() for one")
+        if len(set(self.events)) != len(self.events):
+            raise ConstraintError(
+                "a serial constraint over a repeated event is unsatisfiable "
+                "under the unique-event assumption"
+            )
+
+    def __str__(self) -> str:
+        return "precedes(" + ", ".join(self.events) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Constraint):
+    """Conjunction of constraints."""
+
+    parts: tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ConstraintError("And needs at least two parts; use conj() to build")
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Constraint):
+    """Disjunction of constraints."""
+
+    parts: tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ConstraintError("Or needs at least two parts; use disj() to build")
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.parts) + ")"
+
+
+# -- constructors -------------------------------------------------------------
+
+
+def must(event: str) -> Primitive:
+    """``∇e``: event ``e`` must happen."""
+    return Primitive(event, positive=True)
+
+
+def absent(event: str) -> Primitive:
+    """``¬∇e``: event ``e`` must not happen."""
+    return Primitive(event, positive=False)
+
+
+def serial(*events: str) -> Constraint:
+    """``∇e₁ ⊗ … ⊗ ∇eₙ``; collapses to ``must`` for a single event."""
+    if len(events) == 1:
+        return must(events[0])
+    return SerialConstraint(tuple(events))
+
+
+def order(first: str, second: str) -> SerialConstraint:
+    """The order constraint ``∇first ⊗ ∇second`` (both occur, in this order)."""
+    return SerialConstraint((first, second))
+
+
+def _flatten(kind: type, parts: Iterable[Constraint]) -> Iterator[Constraint]:
+    for part in parts:
+        if isinstance(part, kind):
+            yield from part.parts  # type: ignore[attr-defined]
+        else:
+            yield part
+
+
+def conj(*parts: Constraint) -> Constraint:
+    """Conjunction, flattened and de-duplicated; requires >= 1 part."""
+    flat: list[Constraint] = []
+    seen: set[Constraint] = set()
+    for p in _flatten(And, parts):
+        if p not in seen:
+            seen.add(p)
+            flat.append(p)
+    if not flat:
+        raise ConstraintError("conj() of no constraints")
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Constraint) -> Constraint:
+    """Disjunction, flattened and de-duplicated; requires >= 1 part."""
+    flat: list[Constraint] = []
+    seen: set[Constraint] = set()
+    for p in _flatten(Or, parts):
+        if p not in seen:
+            seen.add(p)
+            flat.append(p)
+    if not flat:
+        raise ConstraintError("disj() of no constraints")
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+# -- traversal ----------------------------------------------------------------
+
+
+def walk_constraint(constraint: Constraint) -> Iterator[Constraint]:
+    """Pre-order traversal of a constraint tree."""
+    stack = [constraint]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (And, Or)):
+            stack.extend(reversed(node.parts))
+
+
+def constraint_events(constraint: Constraint) -> frozenset[str]:
+    """Names of all events mentioned by ``constraint``."""
+    names: set[str] = set()
+    for node in walk_constraint(constraint):
+        if isinstance(node, Primitive):
+            names.add(node.event)
+        elif isinstance(node, SerialConstraint):
+            names.update(node.events)
+    return frozenset(names)

@@ -1,0 +1,94 @@
+"""Constraint implication, equivalence, and satisfiability over an alphabet.
+
+The redundancy analysis of Theorem 5.10 answers "is δ implied *given this
+workflow*?". Designers also ask the workflow-independent question: does
+one constraint set entail another over *every* unique-event behaviour?
+This module answers it by searching the space of unique-event traces over
+the constraints' joint alphabet, guided by the constraint automata of
+:mod:`repro.baselines.automata` with memoisation on (events-used,
+automaton-state) pairs.
+
+The problem is NP-complete (it subsumes the satisfiability side of
+Proposition 4.1), so the search is worst-case exponential in the *number
+of mentioned events* — which is small for human-written constraints, and
+never depends on any workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..baselines.automata import ProductAutomaton
+from .algebra import Constraint, constraint_events
+from .normalize import negate
+
+__all__ = ["find_witness", "is_satisfiable", "implies", "equivalent"]
+
+
+def find_witness(
+    constraints: list[Constraint],
+    events: Iterable[str] | None = None,
+) -> tuple[str, ...] | None:
+    """A unique-event trace over ``events`` satisfying all ``constraints``.
+
+    ``events`` defaults to the constraints' joint alphabet (events outside
+    it cannot influence satisfaction). Returns None when unsatisfiable.
+    """
+    if events is None:
+        alphabet: set[str] = set()
+        for constraint in constraints:
+            alphabet |= constraint_events(constraint)
+        events = alphabet
+    events = tuple(sorted(events))
+    product = ProductAutomaton.build(list(constraints))
+
+    seen: set[tuple[frozenset[str], tuple]] = set()
+    stack: list[tuple[tuple[str, ...], tuple]] = [((), product.initial())]
+    while stack:
+        trace, state = stack.pop()
+        key = (frozenset(trace), state)
+        if key in seen:
+            continue
+        seen.add(key)
+        if product.accepting(state):
+            return trace
+        used = set(trace)
+        for event in events:
+            if event not in used:
+                stack.append((trace + (event,), product.step(state, event)))
+    return None
+
+
+def is_satisfiable(
+    constraints: list[Constraint], events: Iterable[str] | None = None
+) -> bool:
+    """Can any unique-event behaviour satisfy all ``constraints``?"""
+    return find_witness(constraints, events) is not None
+
+
+def implies(
+    premises: list[Constraint] | Constraint,
+    conclusion: Constraint,
+    events: Iterable[str] | None = None,
+) -> bool:
+    """Do the ``premises`` entail ``conclusion`` on every unique-event trace?
+
+    When ``events`` is omitted, the joint alphabet of premises *and*
+    conclusion is used (a conclusion mentioning fresh events can always be
+    violated by a trace the premises ignore).
+    """
+    if isinstance(premises, Constraint):
+        premises = [premises]
+    if events is None:
+        alphabet: set[str] = constraint_events(conclusion) | {
+            e for p in premises for e in constraint_events(p)
+        }
+        events = alphabet
+    return find_witness(list(premises) + [negate(conclusion)], events) is None
+
+
+def equivalent(
+    left: Constraint, right: Constraint, events: Iterable[str] | None = None
+) -> bool:
+    """Are the two constraints satisfied by exactly the same traces?"""
+    return implies(left, right, events) and implies(right, left, events)

@@ -1,0 +1,77 @@
+"""Klein's constraints and the paper's catalogue of typical dependencies.
+
+Section 3 of the paper lists the real-world constraint idioms expressible
+in CONSTR; this module provides them as named constructors. The two Klein
+constraints [22] — commonly occurring in workflow specifications — are:
+
+* *order*: if events ``e`` and ``f`` both occur, ``e`` occurs earlier;
+* *existence*: if ``e`` ever occurs then ``f`` must occur as well
+  (before or after ``e``).
+
+Note the paper's own ``order`` constraint ``∇α ⊗ ∇β`` is *stronger* than
+Klein's: it additionally requires both events to occur.
+"""
+
+from __future__ import annotations
+
+from .algebra import Constraint, absent, conj, disj, must, order
+
+__all__ = [
+    "klein_order",
+    "klein_existence",
+    "both_occur",
+    "mutually_exclusive",
+    "causes",
+    "requires_prior",
+    "not_after",
+    "exactly_one",
+]
+
+
+def klein_order(e: str, f: str) -> Constraint:
+    """Klein's order constraint: if both ``e`` and ``f`` occur, ``e`` first.
+
+    ``¬∇e ∨ ¬∇f ∨ (∇e ⊗ ∇f)``
+    """
+    return disj(absent(e), absent(f), order(e, f))
+
+
+def klein_existence(e: str, f: str) -> Constraint:
+    """Klein's existence constraint: if ``e`` occurs, ``f`` occurs too.
+
+    ``¬∇e ∨ ∇f``
+    """
+    return disj(absent(e), must(f))
+
+
+def both_occur(e: str, f: str) -> Constraint:
+    """``∇e ∧ ∇f`` — both events must occur (in some order)."""
+    return conj(must(e), must(f))
+
+
+def mutually_exclusive(e: str, f: str) -> Constraint:
+    """``¬∇e ∨ ¬∇f`` — the two events cannot happen together."""
+    return disj(absent(e), absent(f))
+
+
+def causes(e: str, f: str) -> Constraint:
+    """``¬∇e ∨ (∇e ⊗ ∇f)`` — if ``e`` occurs, ``f`` must occur later."""
+    return disj(absent(e), order(e, f))
+
+
+def requires_prior(f: str, e: str) -> Constraint:
+    """``¬∇f ∨ (∇e ⊗ ∇f)`` — if ``f`` occurred, ``e`` occurred before it."""
+    return disj(absent(f), order(e, f))
+
+
+def not_after(e: str, f: str) -> Constraint:
+    """``¬(∇e ⊗ ∇f)`` — it is not possible for ``f`` to occur after ``e``.
+
+    Expanded via Lemma 3.4 to ``¬∇e ∨ ¬∇f ∨ (∇f ⊗ ∇e)``.
+    """
+    return disj(absent(e), absent(f), order(f, e))
+
+
+def exactly_one(e: str, f: str) -> Constraint:
+    """Exactly one of the two events occurs."""
+    return disj(conj(must(e), absent(f)), conj(absent(e), must(f)))

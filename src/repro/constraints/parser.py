@@ -1,0 +1,135 @@
+"""Textual syntax for CONSTR constraints.
+
+The grammar matches the ``str()`` rendering of the constraint classes, so
+constraints round-trip through text::
+
+    constraint := disjunct ('or' disjunct)*
+    disjunct   := conjunct ('and' conjunct)*
+    conjunct   := 'not' conjunct
+                | '(' constraint ')'
+                | 'happens' '(' NAME ')'
+                | 'never' '(' NAME ')'
+                | 'precedes' '(' NAME (',' NAME)+ ')'
+
+``not`` is compiled away immediately via Lemma 3.4 (:func:`negate`), so the
+parse result is always a genuine CONSTR constraint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from ..errors import ParseError
+from .algebra import Constraint, absent, conj, disj, must, serial
+from .normalize import negate
+
+__all__ = ["parse_constraint"]
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op>[(),])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        if match.lastgroup != "ws":
+            tokens.append(_Token(match.lastgroup, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.pos)
+        return token
+
+    def constraint(self) -> Constraint:
+        parts = [self.disjunct()]
+        while (token := self.peek()) is not None and token.text == "or":
+            self.next()
+            parts.append(self.disjunct())
+        return disj(*parts) if len(parts) > 1 else parts[0]
+
+    def disjunct(self) -> Constraint:
+        parts = [self.conjunct()]
+        while (token := self.peek()) is not None and token.text == "and":
+            self.next()
+            parts.append(self.conjunct())
+        return conj(*parts) if len(parts) > 1 else parts[0]
+
+    def conjunct(self) -> Constraint:
+        token = self.next()
+        if token.text == "not":
+            return negate(self.conjunct())
+        if token.text == "(":
+            inner = self.constraint()
+            self.expect(")")
+            return inner
+        if token.text in ("happens", "never"):
+            self.expect("(")
+            event = self.next()
+            if event.kind != "name":
+                raise ParseError("expected an event name", event.pos)
+            self.expect(")")
+            return must(event.text) if token.text == "happens" else absent(event.text)
+        if token.text == "precedes":
+            self.expect("(")
+            names = [self.next()]
+            while (nxt := self.peek()) is not None and nxt.text == ",":
+                self.next()
+                names.append(self.next())
+            self.expect(")")
+            for name in names:
+                if name.kind != "name":
+                    raise ParseError("expected an event name", name.pos)
+            if len(names) < 2:
+                raise ParseError("precedes() needs at least two events", token.pos)
+            return serial(*(n.text for n in names))
+        raise ParseError(f"unexpected token {token.text!r}", token.pos)
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse the textual constraint syntax described in the module docstring."""
+    parser = _Parser(text)
+    constraint = parser.constraint()
+    trailing = parser.peek()
+    if trailing is not None:
+        raise ParseError(f"trailing input {trailing.text!r}", trailing.pos)
+    return constraint

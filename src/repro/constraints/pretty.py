@@ -1,0 +1,43 @@
+"""Pretty-printing CONSTR constraints in the paper's notation.
+
+``str()`` on a constraint gives the parseable ASCII form
+(``happens(a) and precedes(b, c)``); :func:`pretty_constraint` renders the
+notation of Definition 3.2 instead::
+
+    >>> from repro.constraints.algebra import absent, disj, order
+    >>> pretty_constraint(disj(absent("e"), order("e", "f")))
+    '¬∇e ∨ (∇e ⊗ ∇f)'
+"""
+
+from __future__ import annotations
+
+from .algebra import And, Constraint, Or, Primitive, SerialConstraint
+
+__all__ = ["pretty_constraint"]
+
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_LEAF = 3
+
+
+def pretty_constraint(constraint: Constraint) -> str:
+    """Render ``constraint`` with ∇ / ⊗ / ∧ / ∨, as in the paper."""
+    return _render(constraint, 0)
+
+
+def _render(constraint: Constraint, parent_prec: int) -> str:
+    if isinstance(constraint, Primitive):
+        text = f"∇{constraint.event}" if constraint.positive else f"¬∇{constraint.event}"
+        return text
+    if isinstance(constraint, SerialConstraint):
+        text = " ⊗ ".join(f"∇{event}" for event in constraint.events)
+        # Serial constraints always get parentheses inside connectives so
+        # the ⊗ never reads as binding looser than ∧/∨.
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(constraint, And):
+        text = " ∧ ".join(_render(p, _PREC_AND) for p in constraint.parts)
+        return f"({text})" if parent_prec >= _PREC_AND else text
+    if isinstance(constraint, Or):
+        text = " ∨ ".join(_render(p, _PREC_OR + 1) for p in constraint.parts)
+        return f"({text})" if parent_prec > _PREC_OR else text
+    raise TypeError(f"cannot render {type(constraint).__name__}")  # pragma: no cover

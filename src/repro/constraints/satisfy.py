@@ -1,0 +1,151 @@
+"""Deciding whether event sequences satisfy CONSTR constraints.
+
+Two evaluators:
+
+* :func:`satisfies` — polynomial-time satisfaction of a *complete* trace.
+  This is the decision procedure behind the paper's NP-*membership*
+  argument (Proposition 4.1: "given an arbitrary sequence of events the
+  satisfiability of a set of constraints … is decidable in polynomial
+  time").
+* :class:`PrefixEvaluator` — three-valued evaluation of a *prefix* under
+  the unique-event assumption: ``TRUE`` (satisfied however the execution
+  continues), ``FALSE`` (violated beyond repair), or ``UNKNOWN``. This is
+  the building block of the passive-scheduler baseline
+  (:mod:`repro.baselines.passive`), which must detect violations as early
+  as possible while events stream in from an external source.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .algebra import And, Constraint, Or, Primitive, SerialConstraint
+
+__all__ = ["satisfies", "Verdict", "PrefixEvaluator"]
+
+
+def satisfies(trace: tuple[str, ...], constraint: Constraint) -> bool:
+    """Does the complete event sequence ``trace`` satisfy ``constraint``?
+
+    Positions are compared on *first* occurrences; under the unique-event
+    assumption each event occurs at most once anyway.
+    """
+    position = {}
+    for index, event in enumerate(trace):
+        position.setdefault(event, index)
+    return _eval(position, constraint)
+
+
+def _eval(position: dict[str, int], constraint: Constraint) -> bool:
+    if isinstance(constraint, Primitive):
+        present = constraint.event in position
+        return present if constraint.positive else not present
+    if isinstance(constraint, SerialConstraint):
+        last = -1
+        for event in constraint.events:
+            index = position.get(event)
+            if index is None or index <= last:
+                return False
+            last = index
+        return True
+    if isinstance(constraint, And):
+        return all(_eval(position, p) for p in constraint.parts)
+    if isinstance(constraint, Or):
+        return any(_eval(position, p) for p in constraint.parts)
+    raise TypeError(f"cannot evaluate {type(constraint).__name__}")  # pragma: no cover
+
+
+class Verdict(enum.Enum):
+    """Three-valued prefix verdict."""
+
+    TRUE = "true"        # satisfied, whatever happens next
+    FALSE = "false"      # violated, whatever happens next
+    UNKNOWN = "unknown"  # depends on the rest of the execution
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError("Verdict is three-valued; compare explicitly")
+
+
+def _and3(verdicts: list[Verdict]) -> Verdict:
+    if any(v is Verdict.FALSE for v in verdicts):
+        return Verdict.FALSE
+    if all(v is Verdict.TRUE for v in verdicts):
+        return Verdict.TRUE
+    return Verdict.UNKNOWN
+
+
+def _or3(verdicts: list[Verdict]) -> Verdict:
+    if any(v is Verdict.TRUE for v in verdicts):
+        return Verdict.TRUE
+    if all(v is Verdict.FALSE for v in verdicts):
+        return Verdict.FALSE
+    return Verdict.UNKNOWN
+
+
+class PrefixEvaluator:
+    """Three-valued constraint evaluation over a growing unique-event prefix.
+
+    >>> from repro.constraints.algebra import order
+    >>> ev = PrefixEvaluator()
+    >>> ev.observe("b")
+    >>> ev.verdict(order("a", "b"))
+    <Verdict.FALSE: 'false'>
+    """
+
+    def __init__(self) -> None:
+        self._position: dict[str, int] = {}
+        self._length = 0
+
+    @property
+    def prefix_length(self) -> int:
+        return self._length
+
+    def observe(self, event: str) -> None:
+        """Append ``event`` to the prefix."""
+        self._position.setdefault(event, self._length)
+        self._length += 1
+
+    def seen(self, event: str) -> bool:
+        return event in self._position
+
+    def verdict(self, constraint: Constraint) -> Verdict:
+        """Three-valued verdict of ``constraint`` on the current prefix."""
+        return self._verdict(constraint)
+
+    def final(self, constraint: Constraint) -> bool:
+        """Definitive satisfaction, treating the prefix as the full trace."""
+        return _eval(self._position, constraint)
+
+    def _verdict(self, constraint: Constraint) -> Verdict:
+        if isinstance(constraint, Primitive):
+            present = constraint.event in self._position
+            if constraint.positive:
+                return Verdict.TRUE if present else Verdict.UNKNOWN
+            return Verdict.FALSE if present else Verdict.UNKNOWN
+        if isinstance(constraint, SerialConstraint):
+            return self._serial_verdict(constraint)
+        if isinstance(constraint, And):
+            return _and3([self._verdict(p) for p in constraint.parts])
+        if isinstance(constraint, Or):
+            return _or3([self._verdict(p) for p in constraint.parts])
+        raise TypeError(f"cannot evaluate {type(constraint).__name__}")  # pragma: no cover
+
+    def _serial_verdict(self, constraint: SerialConstraint) -> Verdict:
+        """Unique events only occur once, so order violations are permanent.
+
+        FALSE iff the already-seen events are out of order, or some seen
+        event should have been preceded by one still unseen (the unseen one
+        can now only occur later, which is too late). TRUE iff all events
+        are seen, in order.
+        """
+        last = -1
+        missing = False
+        for event in constraint.events:
+            index = self._position.get(event)
+            if index is None:
+                missing = True
+                continue
+            if missing or index <= last:
+                return Verdict.FALSE
+            last = index
+        return Verdict.UNKNOWN if missing else Verdict.TRUE

@@ -1,0 +1,185 @@
+"""The Apply transformation (Definitions 5.1, 5.3, 5.5).
+
+``Apply(C, G)`` compiles a CONSTR constraint ``C`` into a unique-event
+concurrent-Horn goal ``G``, producing a goal whose executions are precisely
+the executions of ``G`` that satisfy ``C`` — i.e. ``Apply(C, G) ≡ G ∧ C``
+(Propositions 5.2/5.4/5.6) — without using the constrained-execution
+connective ``∧`` at run time.
+
+The case analysis follows the paper:
+
+* **positive primitive** ``∇α``: keep exactly the parts of the goal where
+  ``α`` occurs; a serial/concurrent composition turns into the disjunction
+  over which component provides ``α``; components that cannot provide it
+  become ``¬path`` and are absorbed on the spot;
+* **negative primitive** ``¬∇α``: delete every execution in which ``α``
+  occurs (each occurrence of ``α`` becomes ``¬path``);
+* **order** ``∇α ⊗ ∇β``: first force both events to occur, then serialise
+  them with a fresh ``send``/``receive`` token (:func:`~repro.core.sync.sync_order`);
+* ``C₁ ∧ C₂``: apply sequentially; ``C₁ ∨ C₂``: duplicate the goal — this
+  duplication is the source of the ``d^N`` factor in Theorem 5.11.
+
+Serial conjunctions and concurrent conjunctions are handled n-ary: for the
+binary case this coincides with Definition 5.1, and for longer compositions
+it produces the same goal the binary fold would after ``¬path`` absorption,
+just without building the intermediate garbage.
+
+Because the smart constructors ``seq``/``par``/``alt`` absorb ``¬path``
+eagerly (the tautologies of Section 5), the result of :func:`apply_constraint`
+is always either a concurrent-Horn goal or the literal ``NEG_PATH``.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import And, Constraint, Or, Primitive, SerialConstraint
+from ..constraints.normalize import normalize
+from ..ctr.formulas import (
+    NEG_PATH,
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    NegPath,
+    Possibility,
+    Serial,
+    alt,
+    par,
+    seq,
+)
+from .sync import TokenFactory, sync_order
+
+__all__ = ["apply_constraint", "apply_all"]
+
+
+def apply_constraint(
+    constraint: Constraint, goal: Goal, tokens: TokenFactory | None = None
+) -> Goal:
+    """Compile ``constraint`` into ``goal``: the executable form of ``goal ∧ constraint``.
+
+    ``goal`` must have the unique-event property (Definition 3.1); the
+    caller is responsible for checking it (the end-to-end compiler in
+    :mod:`repro.core.compiler` does). The result preserves that property.
+    """
+    if tokens is None:
+        tokens = TokenFactory()
+    from ..ctr.simplify import simplify
+
+    return simplify(_apply(normalize(constraint), goal, tokens))
+
+
+def apply_all(
+    constraints: list[Constraint], goal: Goal, tokens: TokenFactory | None = None
+) -> Goal:
+    """Compile a whole constraint set ``C = {δ₁, …, δₙ}`` (Definition 5.5).
+
+    The set is read as the conjunction ``δ₁ ∧ … ∧ δₙ`` and applied
+    sequentially.
+    """
+    if tokens is None:
+        tokens = TokenFactory()
+    from ..ctr.simplify import simplify
+
+    result = goal
+    for constraint in constraints:
+        result = _apply(normalize(constraint), result, tokens)
+        if isinstance(result, NegPath):
+            return NEG_PATH
+    return simplify(result)
+
+
+def _apply(constraint: Constraint, goal: Goal, tokens: TokenFactory) -> Goal:
+    if isinstance(goal, NegPath):
+        return NEG_PATH
+
+    if isinstance(constraint, Primitive):
+        if constraint.positive:
+            return _apply_must(constraint.event, goal)
+        return _apply_never(constraint.event, goal)
+
+    if isinstance(constraint, SerialConstraint):
+        # normalize() guarantees exactly two events here.
+        alpha, beta = constraint.events
+        forced = _apply_must(alpha, _apply_must(beta, goal))
+        if isinstance(forced, NegPath):
+            return NEG_PATH
+        return sync_order(alpha, beta, forced, tokens.fresh())
+
+    if isinstance(constraint, And):
+        result = goal
+        for part in constraint.parts:
+            result = _apply(part, result, tokens)
+            if isinstance(result, NegPath):
+                return NEG_PATH
+        return result
+
+    if isinstance(constraint, Or):
+        return alt(*(_apply(part, goal, tokens) for part in constraint.parts))
+
+    raise TypeError(f"cannot apply {type(constraint).__name__}")  # pragma: no cover
+
+
+def _apply_must(alpha: str, goal: Goal) -> Goal:
+    """``Apply(∇α, T)``: keep exactly the executions of ``T`` where ``α`` occurs."""
+    if isinstance(goal, Atom):
+        return goal if goal.name == alpha else NEG_PATH
+
+    if isinstance(goal, Serial):
+        parts = goal.parts
+        branches = []
+        for i, part in enumerate(parts):
+            transformed = _apply_must(alpha, part)
+            if isinstance(transformed, NegPath):
+                continue
+            branches.append(seq(*parts[:i], transformed, *parts[i + 1:]))
+        return alt(*branches) if branches else NEG_PATH
+
+    if isinstance(goal, Concurrent):
+        parts = goal.parts
+        branches = []
+        for i, part in enumerate(parts):
+            transformed = _apply_must(alpha, part)
+            if isinstance(transformed, NegPath):
+                continue
+            branches.append(par(*parts[:i], transformed, *parts[i + 1:]))
+        return alt(*branches) if branches else NEG_PATH
+
+    if isinstance(goal, Choice):
+        return alt(*(_apply_must(alpha, part) for part in goal.parts))
+
+    if isinstance(goal, Isolated):
+        body = _apply_must(alpha, goal.body)
+        return NEG_PATH if isinstance(body, NegPath) else Isolated(body)
+
+    if isinstance(goal, Possibility):
+        # Events inside a ◇ test never actually occur, so they cannot
+        # discharge a positive primitive constraint.
+        return NEG_PATH
+
+    # Send / Receive / Test / Empty / NegPath: α cannot occur here.
+    return NEG_PATH
+
+
+def _apply_never(alpha: str, goal: Goal) -> Goal:
+    """``Apply(¬∇α, T)``: delete the executions of ``T`` where ``α`` occurs."""
+    if isinstance(goal, Atom):
+        return NEG_PATH if goal.name == alpha else goal
+
+    if isinstance(goal, Serial):
+        return seq(*(_apply_never(alpha, part) for part in goal.parts))
+
+    if isinstance(goal, Concurrent):
+        return par(*(_apply_never(alpha, part) for part in goal.parts))
+
+    if isinstance(goal, Choice):
+        return alt(*(_apply_never(alpha, part) for part in goal.parts))
+
+    if isinstance(goal, Isolated):
+        body = _apply_never(alpha, goal.body)
+        return NEG_PATH if isinstance(body, NegPath) else Isolated(body)
+
+    if isinstance(goal, Possibility):
+        # Hypothetical occurrences of α are not occurrences; keep the test.
+        return goal
+
+    return goal

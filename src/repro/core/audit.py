@@ -1,0 +1,109 @@
+"""Post-hoc auditing of recorded executions.
+
+Workflow engines are audited after the fact: given the event log a run
+left behind, did the run conform to the specification, and does the
+database state match what those events should have produced? This module
+replays a recorded schedule through the specification and the transition
+oracle and reports every discrepancy:
+
+* schedule conformance — the events form an allowed execution of the
+  compiled workflow (with :func:`repro.core.explain.explain_rejection`
+  invoked for the diagnosis when they do not);
+* state conformance — re-applying the elementary updates from the
+  recorded initial state reproduces the recorded final state;
+* log conformance — the database's own event log agrees with the claimed
+  schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.oracle import TransitionOracle
+from ..db.state import Database
+from .compiler import CompiledWorkflow
+from .explain import Rejection, explain_rejection
+
+__all__ = ["AuditResult", "audit_execution"]
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of auditing one recorded run."""
+
+    schedule_ok: bool
+    state_ok: bool
+    log_ok: bool
+    rejection: Rejection | None = None
+    state_diff: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.schedule_ok and self.state_ok and self.log_ok
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        if self.ok:
+            return "audit passed: schedule, state, and log all conform"
+        lines = ["audit FAILED:"]
+        if not self.schedule_ok and self.rejection is not None:
+            lines.append("  " + self.rejection.describe().replace("\n", "\n  "))
+        if not self.state_ok:
+            lines.append("  state mismatch in relations: " + ", ".join(self.state_diff))
+        if not self.log_ok:
+            lines.append("  database log disagrees with the claimed schedule")
+        return "\n".join(lines)
+
+
+def audit_execution(
+    compiled: CompiledWorkflow,
+    schedule: tuple[str, ...],
+    final_db: Database,
+    oracle: TransitionOracle | None = None,
+    initial_db: Database | None = None,
+) -> AuditResult:
+    """Audit a recorded run of ``compiled``.
+
+    ``final_db`` is the database as found after the run; ``initial_db``
+    the state the run started from (fresh by default). The oracle must be
+    the one the production engine used, or the replay cannot reproduce
+    the state.
+    """
+    oracle = oracle or TransitionOracle()
+    rejection = explain_rejection(compiled, tuple(schedule))
+    schedule_ok = rejection.allowed
+
+    replay = (initial_db or Database()).copy()
+    replay_failed = False
+    for event in schedule:
+        try:
+            oracle.execute(event, replay)
+        except Exception:  # noqa: BLE001 - any replay failure is a finding
+            replay_failed = True
+            break
+
+    diff: tuple[str, ...] = ()
+    if replay_failed:
+        state_ok = False
+        diff = ("<replay failed>",)
+    else:
+        state_ok = replay.same_state(final_db)
+        if not state_ok:
+            names = sorted(replay.relation_names | final_db.relation_names)
+            diff = tuple(
+                name
+                for name in names
+                if replay.relation(name) != final_db.relation(name)
+            )
+
+    log_ok = final_db.log.events() == tuple(schedule)
+
+    return AuditResult(
+        schedule_ok=schedule_ok,
+        state_ok=state_ok,
+        log_ok=log_ok,
+        rejection=None if schedule_ok else rejection,
+        state_diff=diff,
+    )

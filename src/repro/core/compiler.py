@@ -1,0 +1,118 @@
+"""End-to-end workflow compilation: rules → Apply → Excise.
+
+:func:`compile_workflow` is the main entry point of the library. It takes a
+workflow specification — a concurrent-Horn goal (or a control flow graph,
+via :mod:`repro.graph.translate`), an optional rule base of sub-workflow
+definitions, and a set of CONSTR constraints — and produces a
+:class:`CompiledWorkflow`: the "compressed explicit representation of all
+allowed executions" of Section 4. From it one can
+
+* test **consistency** (Theorem 5.8): the specification is consistent iff
+  compilation did not collapse to ``¬path``;
+* obtain a **pro-active scheduler** (:meth:`CompiledWorkflow.scheduler`)
+  that knows, at every stage, exactly which events are eligible — no
+  run-time constraint checking;
+* enumerate allowed executions (each in time linear in the original
+  graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.algebra import Constraint
+from ..ctr.formulas import Goal, goal_size
+from ..ctr.rules import RuleBase
+from ..ctr.simplify import is_failure, simplify
+from ..ctr.unique import check_unique_events
+from ..errors import InconsistentWorkflowError
+from .apply import apply_all
+from .excise import excise
+from .sync import TokenFactory
+
+__all__ = ["CompiledWorkflow", "compile_workflow"]
+
+
+@dataclass(frozen=True)
+class CompiledWorkflow:
+    """The result of compiling ``source ∧ constraints``.
+
+    Attributes
+    ----------
+    source:
+        The original (rule-expanded) goal ``G``.
+    constraints:
+        The constraint set ``C`` that was compiled in.
+    applied:
+        ``Apply(C, G)`` before knot removal — kept for size accounting
+        (Theorem 5.11 measures this object).
+    goal:
+        ``Excise(Apply(C, G))`` — the executable compiled goal, or
+        ``¬path`` when the specification is inconsistent.
+    """
+
+    source: Goal
+    constraints: tuple[Constraint, ...]
+    applied: Goal
+    goal: Goal
+
+    @property
+    def consistent(self) -> bool:
+        """Theorem 5.8: consistent iff Excise(Apply(C, G)) ≠ ¬path."""
+        return not is_failure(self.goal)
+
+    @property
+    def applied_size(self) -> int:
+        """``|Apply(C, G)|`` — the quantity bounded by Theorem 5.11."""
+        return goal_size(self.applied)
+
+    @property
+    def compiled_size(self) -> int:
+        return goal_size(self.goal)
+
+    def require_consistent(self) -> "CompiledWorkflow":
+        """Raise :class:`~repro.errors.InconsistentWorkflowError` if inconsistent."""
+        if not self.consistent:
+            raise InconsistentWorkflowError(culprit=self.source)
+        return self
+
+    def scheduler(self, test_hook=None):
+        """A pro-active :class:`~repro.core.scheduler.Scheduler` over the compiled goal."""
+        from .scheduler import Scheduler
+
+        self.require_consistent()
+        return Scheduler(self.goal, test_hook=test_hook)
+
+    def schedules(self, limit: int = 200_000):
+        """Iterate over all allowed event sequences (linear time per path)."""
+        from .scheduler import Scheduler
+
+        if not self.consistent:
+            return iter(())
+        return Scheduler(self.goal).enumerate_schedules(limit=limit)
+
+
+def compile_workflow(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...] = (),
+    rules: RuleBase | None = None,
+) -> CompiledWorkflow:
+    """Compile a workflow specification ``G ∧ C`` into executable form.
+
+    ``rules`` (sub-workflow definitions) are inlined first; the expanded
+    goal must satisfy the unique-event property (Definition 3.1), which is
+    verified here and raises :class:`~repro.errors.UniqueEventError`
+    otherwise.
+    """
+    expanded = rules.expand(goal) if rules is not None else goal
+    expanded = simplify(expanded)
+    check_unique_events(expanded)
+    tokens = TokenFactory()
+    applied = apply_all(list(constraints), expanded, tokens)
+    compiled = excise(applied)
+    return CompiledWorkflow(
+        source=expanded,
+        constraints=tuple(constraints),
+        applied=applied,
+        goal=compiled,
+    )

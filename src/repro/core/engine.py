@@ -1,0 +1,134 @@
+"""The workflow run-time engine: compiled goal + transition oracle + database.
+
+The engine closes the loop the paper's title promises — *specifying,
+analyzing, and executing* workflows in one formalism. It drives a
+:class:`~repro.core.scheduler.Scheduler` over the compiled goal, and for
+each fired event asks the :class:`~repro.db.oracle.TransitionOracle` to
+perform the corresponding elementary update against a
+:class:`~repro.db.state.Database`. Transition conditions
+(:class:`~repro.ctr.formulas.Test` nodes) are evaluated against the live
+database, and failure atomicity — which "is built into CTR semantics" — is
+provided by rolling the database back to its initial snapshot when an
+activity fails.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ctr.formulas import Test
+from ..db.oracle import TransitionOracle
+from ..db.state import Database
+from ..errors import ExecutionError, SchedulingError
+from .compiler import CompiledWorkflow
+
+__all__ = ["WorkflowEngine", "ExecutionReport", "first_strategy", "random_strategy"]
+
+Strategy = Callable[[frozenset[str], Database], str]
+
+
+def first_strategy(eligible: frozenset[str], db: Database) -> str:
+    """Deterministic strategy: fire the lexicographically smallest event."""
+    return min(eligible)
+
+
+def random_strategy(seed: int | None = None) -> Strategy:
+    """A seeded random strategy (useful to explore different interleavings)."""
+    rng = random.Random(seed)
+
+    def pick(eligible: frozenset[str], db: Database) -> str:
+        return rng.choice(sorted(eligible))
+
+    return pick
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of one engine run."""
+
+    schedule: tuple[str, ...]
+    database: Database
+    completed: bool
+
+    def __bool__(self) -> bool:
+        return self.completed
+
+
+class WorkflowEngine:
+    """Executes a compiled workflow against a database.
+
+    Parameters
+    ----------
+    compiled:
+        A consistent :class:`~repro.core.compiler.CompiledWorkflow`.
+    oracle:
+        Maps event names to elementary updates; unregistered events just
+        log themselves (assumption (2)).
+    db:
+        The initial database state (fresh and empty by default).
+    strategy:
+        Chooses among eligible events; :func:`first_strategy` by default.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledWorkflow,
+        oracle: TransitionOracle | None = None,
+        db: Database | None = None,
+        strategy: Strategy | None = None,
+    ):
+        compiled.require_consistent()
+        self.compiled = compiled
+        self.oracle = oracle or TransitionOracle()
+        self.db = db or Database()
+        self.strategy = strategy or first_strategy
+        self._scheduler = compiled.scheduler(test_hook=self._evaluate_test)
+
+    # -- transition conditions -------------------------------------------------
+
+    def _evaluate_test(self, test: Test) -> bool:
+        if test.predicate is None:
+            return True
+        return bool(test.predicate(self.db))
+
+    # -- stepping ----------------------------------------------------------------
+
+    def eligible(self) -> frozenset[str]:
+        """Events that may start now, under the current database state."""
+        return self._scheduler.eligible()
+
+    def fire(self, event: str) -> None:
+        """Fire one event: advance the schedule and apply the update."""
+        self._scheduler.fire(event)
+        try:
+            self.oracle.execute(event, self.db)
+        except Exception as exc:  # noqa: BLE001 - any activity failure aborts
+            raise ExecutionError(event, exc) from exc
+
+    def run(self, max_steps: int = 100_000) -> ExecutionReport:
+        """Drive the workflow to completion with failure atomicity.
+
+        On activity failure the database (including its event log) is
+        rolled back to the pre-run state and the error is re-raised.
+        """
+        checkpoint = self.db.snapshot()
+        try:
+            for _ in range(max_steps):
+                events = self.eligible()
+                if not events:
+                    if self._scheduler.can_finish():
+                        return ExecutionReport(
+                            schedule=self._scheduler.history,
+                            database=self.db,
+                            completed=True,
+                        )
+                    raise SchedulingError(
+                        "workflow is stuck: no eligible event and cannot finish"
+                    )
+                self.fire(self.strategy(events, self.db))
+            raise SchedulingError(f"workflow did not finish within {max_steps} steps")
+        except ExecutionError:
+            self.db.restore(checkpoint)
+            raise

@@ -1,0 +1,131 @@
+"""Diagnostics: explain why an execution is not allowed.
+
+The compiled goal silently excludes illegal behaviour — which is the
+point — but when an operator asks "why can't the workflow do X?", the
+specification should answer. :func:`explain_rejection` decomposes a
+rejected event sequence into the reasons:
+
+* events that do not belong to the workflow at all;
+* a prefix that falls outside the control flow graph (with the exact
+  position where it diverges and what was eligible instead);
+* the specific constraints the sequence violates (by name of their
+  textual rendering), even when the control flow would allow it.
+
+This reuses the paper's machinery — the uncompiled goal's step semantics
+for control-flow conformance and polynomial trace checking for the
+constraints — so the explanation is sound by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.algebra import Constraint
+from ..constraints.satisfy import satisfies
+from ..ctr.formulas import event_names
+from .compiler import CompiledWorkflow
+from .scheduler import Scheduler
+
+__all__ = ["Rejection", "explain_rejection", "is_allowed"]
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Structured explanation for a rejected event sequence."""
+
+    sequence: tuple[str, ...]
+    allowed: bool
+    unknown_events: tuple[str, ...] = ()
+    diverges_at: int | None = None
+    eligible_instead: frozenset[str] = frozenset()
+    incomplete: bool = False
+    violated_constraints: tuple[Constraint, ...] = ()
+    notes: tuple[str, ...] = field(default=())
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def describe(self) -> str:
+        """A readable multi-line explanation."""
+        if self.allowed:
+            return "the sequence is an allowed execution"
+        lines = [f"sequence rejected: {' -> '.join(self.sequence) or '<empty>'}"]
+        if self.unknown_events:
+            lines.append("  unknown events: " + ", ".join(self.unknown_events))
+        if self.diverges_at is not None:
+            offending = self.sequence[self.diverges_at]
+            options = ", ".join(sorted(self.eligible_instead)) or "<none - finished>"
+            lines.append(
+                f"  control flow diverges at step {self.diverges_at + 1} "
+                f"({offending!r}); eligible instead: {options}"
+            )
+        if self.incomplete:
+            lines.append("  the sequence stops before the workflow can finish")
+        for constraint in self.violated_constraints:
+            lines.append(f"  violates constraint: {constraint}")
+        lines.extend("  " + note for note in self.notes)
+        return "\n".join(lines)
+
+
+def is_allowed(compiled: CompiledWorkflow, sequence: tuple[str, ...]) -> bool:
+    """Is ``sequence`` a complete allowed execution of the compiled workflow?"""
+    scheduler = Scheduler(compiled.goal)
+    try:
+        for event in sequence:
+            scheduler.fire(event)
+    except Exception:
+        return False
+    return scheduler.can_finish()
+
+
+def explain_rejection(
+    compiled: CompiledWorkflow, sequence: tuple[str, ...]
+) -> Rejection:
+    """Explain why ``sequence`` is (or is not) an allowed execution."""
+    sequence = tuple(sequence)
+    if is_allowed(compiled, sequence):
+        return Rejection(sequence=sequence, allowed=True)
+
+    vocabulary = event_names(compiled.source)
+    unknown = tuple(e for e in sequence if e not in vocabulary)
+
+    # Control-flow conformance against the *uncompiled* goal.
+    diverges_at: int | None = None
+    eligible_instead: frozenset[str] = frozenset()
+    incomplete = False
+    flow = Scheduler(compiled.source)
+    for index, event in enumerate(sequence):
+        eligible = flow.eligible()
+        if event not in eligible:
+            diverges_at = index
+            eligible_instead = eligible
+            break
+        flow.fire(event)
+    else:
+        incomplete = not flow.can_finish()
+
+    # Constraint conformance (meaningful when the flow itself accepts).
+    violated: tuple[Constraint, ...] = ()
+    if diverges_at is None and not incomplete:
+        violated = tuple(
+            c for c in compiled.constraints if not satisfies(sequence, c)
+        )
+
+    notes: tuple[str, ...] = ()
+    if diverges_at is None and not incomplete and not violated and not unknown:
+        notes = (
+            "every declared constraint holds and the control flow accepts "
+            "the sequence; it is excluded by the interaction of several "
+            "constraints with the remaining choices (compile-time pruning)",
+        )
+
+    return Rejection(
+        sequence=sequence,
+        allowed=False,
+        unknown_events=unknown,
+        diverges_at=diverges_at,
+        eligible_instead=eligible_instead,
+        incomplete=incomplete,
+        violated_constraints=violated,
+        notes=notes,
+    )

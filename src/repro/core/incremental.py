@@ -1,0 +1,80 @@
+"""Incremental recompilation: evolving a compiled workflow in place.
+
+Because Apply is defined constraint-by-constraint —
+``Apply(C ∪ {δ}, G) = Apply(δ, Apply(C, G))`` (Definition 5.5) — a compiled
+workflow can absorb a *new* constraint without recompiling from the
+original graph: apply the new constraint to the already-compiled goal and
+re-excise. For a specification that has already paid the ``d^N`` price,
+adding one more constraint costs only ``d`` times the *current* size
+rather than a full ``d^{N+1}`` recompilation, and in the common case where
+the new constraint prunes branches the compiled goal *shrinks*.
+
+This is the workflow-evolution story: policies arrive one at a time over
+the lifetime of a deployed process, and each arrival is a cheap
+incremental step with an immediate consistency verdict.
+
+The token factory is re-seeded past the tokens already embedded in the
+compiled goal so fresh ``send``/``receive`` pairs never collide.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..constraints.algebra import Constraint
+from ..ctr.formulas import Goal, Receive, Send, walk
+from .apply import apply_all
+from .compiler import CompiledWorkflow
+from .excise import excise
+from .sync import TokenFactory
+
+__all__ = ["add_constraints", "add_constraint"]
+
+_TOKEN_NUMBER = re.compile(r"^xi(\d+)$")
+
+
+def _next_free_token_factory(goal: Goal) -> TokenFactory:
+    """A factory whose fresh tokens avoid every token already in ``goal``."""
+    highest = 0
+    for node in walk(goal):
+        if isinstance(node, (Send, Receive)):
+            match = _TOKEN_NUMBER.match(node.token)
+            if match:
+                highest = max(highest, int(match.group(1)))
+    factory = TokenFactory()
+    for _ in range(highest):
+        factory.fresh()
+    return factory
+
+
+def add_constraints(
+    compiled: CompiledWorkflow, constraints: list[Constraint]
+) -> CompiledWorkflow:
+    """Compile additional constraints into an already-compiled workflow.
+
+    The result is equivalent to recompiling the source with the combined
+    constraint set (property-tested), but the work done is proportional to
+    the *compiled* goal.
+    """
+    if not constraints:
+        return compiled
+    if not compiled.consistent:
+        return CompiledWorkflow(
+            source=compiled.source,
+            constraints=compiled.constraints + tuple(constraints),
+            applied=compiled.applied,
+            goal=compiled.goal,
+        )
+    tokens = _next_free_token_factory(compiled.goal)
+    applied = apply_all(list(constraints), compiled.goal, tokens)
+    return CompiledWorkflow(
+        source=compiled.source,
+        constraints=compiled.constraints + tuple(constraints),
+        applied=applied,
+        goal=excise(applied),
+    )
+
+
+def add_constraint(compiled: CompiledWorkflow, constraint: Constraint) -> CompiledWorkflow:
+    """Single-constraint convenience wrapper around :func:`add_constraints`."""
+    return add_constraints(compiled, [constraint])

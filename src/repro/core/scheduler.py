@@ -1,0 +1,203 @@
+"""The pro-active workflow scheduler (Section 4).
+
+Because compilation "compiles the constraints into" the goal, the scheduler
+never evaluates a temporal constraint at run time: it simply walks the
+compiled goal. At every stage it exposes the set of events *eligible to
+start* (:meth:`Scheduler.eligible`); firing one (:meth:`Scheduler.fire`)
+advances the residual goal. Every sequence the scheduler can produce is an
+allowed execution, and every allowed execution can be produced — soundness
+and completeness are property-tested against the trace semantics.
+
+Implementation: a lazy subset construction over the non-deterministic
+:class:`~repro.ctr.machine.Machine`. The scheduler state is the set of
+machine configurations compatible with the events fired so far; silent
+``send``/``receive``/``◇`` steps are closed over on demand. On compiled
+(excised) goals, whose choices are token-free or already hoisted, the
+configuration set stays small and a full path costs time linear in the
+original graph — the paper's scheduling bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..ctr.formulas import Goal
+from ..ctr.machine import Config, Machine
+from ..errors import IneligibleEventError, SchedulingError
+from ..ctr.traces import TooManyTracesError
+
+__all__ = ["Scheduler"]
+
+
+def _externalize(goal: Goal) -> Goal:
+    """Rewrite machine-internal residual nodes into plain CTR structure.
+
+    ``Tail`` suffixes become explicit serial goals and ``Running`` markers
+    become ``Isolated`` regions (re-entering isolation on resume only
+    *narrows* interleaving back to what the original goal allowed).
+    """
+    from ..ctr.formulas import Choice, Concurrent, Isolated, Serial, alt, par, seq
+    from ..ctr.machine import Running, Tail
+
+    if isinstance(goal, Tail):
+        return seq(*(_externalize(p) for p in goal.parts[goal.start:]))
+    if isinstance(goal, Running):
+        # Keep the marker: the remaining region must still complete
+        # without interleaving (serialized natively by ctr.serialize).
+        return Running(_externalize(goal.body))
+    if isinstance(goal, Serial):
+        return seq(*(_externalize(p) for p in goal.parts))
+    if isinstance(goal, Concurrent):
+        return par(*(_externalize(p) for p in goal.parts))
+    if isinstance(goal, Choice):
+        return alt(*(_externalize(p) for p in goal.parts))
+    if isinstance(goal, Isolated):
+        return Isolated(_externalize(goal.body))
+    return goal
+
+
+class Scheduler:
+    """Step-by-step executor of a compiled workflow goal.
+
+    >>> from repro.ctr.formulas import atoms
+    >>> a, b = atoms("a b")
+    >>> s = Scheduler(a >> b)
+    >>> sorted(s.eligible())
+    ['a']
+    >>> s.fire("a"); sorted(s.eligible())
+    ['b']
+    """
+
+    def __init__(self, goal: Goal, test_hook=None):
+        self._machine = Machine(goal, test_hook=test_hook)
+        self._initial: frozenset[Config] = frozenset((self._machine.initial(),))
+        self._state = self._initial
+        self._history: list[str] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def history(self) -> tuple[str, ...]:
+        """The events fired so far, in order."""
+        return tuple(self._history)
+
+    def eligible(self) -> frozenset[str]:
+        """Events that may start now (the paper's "events eligible to start")."""
+        events: set[str] = set()
+        for config in self._state:
+            events.update(self._machine.successors(config))
+        return frozenset(events)
+
+    def can_finish(self) -> bool:
+        """May the workflow terminate successfully right now?"""
+        return any(self._machine.is_final(config) for config in self._state)
+
+    @property
+    def finished(self) -> bool:
+        """No event is eligible any more (the run is over)."""
+        return not self.eligible()
+
+    def is_stuck(self) -> bool:
+        """True if the run can neither continue nor finish (should never
+        happen on an excised goal — asserted by the test-suite)."""
+        return not self.eligible() and not self.can_finish()
+
+    # -- driving -------------------------------------------------------------
+
+    def fire(self, event: str) -> None:
+        """Record that ``event`` has started/occurred, advancing the state."""
+        next_state: set[Config] = set()
+        for config in self._state:
+            next_state.update(self._machine.successors(config).get(event, ()))
+        if not next_state:
+            raise IneligibleEventError(event, self.eligible())
+        self._state = frozenset(next_state)
+        self._history.append(event)
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self._state = self._initial
+        self._history = []
+
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable checkpoint of the run (for crash recovery).
+
+        Captures the residual goals, sent tokens, and event history. The
+        machine's internal suffix sharing is flattened on save, so a
+        restored scheduler is behaviourally identical though its residual
+        goals may be structurally rebuilt.
+        """
+        from ..ctr.serialize import goal_to_dict
+
+        return {
+            "history": list(self._history),
+            "configs": [
+                {"goal": goal_to_dict(_externalize(c.goal)), "tokens": sorted(c.tokens)}
+                for c in sorted(self._state, key=repr)
+            ],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Resume from a :meth:`snapshot` taken on an equivalent scheduler."""
+        from ..ctr.serialize import goal_from_dict
+
+        self._history = list(snapshot["history"])
+        self._state = frozenset(
+            Config(goal_from_dict(entry["goal"]), frozenset(entry["tokens"]))
+            for entry in snapshot["configs"]
+        )
+
+    def run(
+        self,
+        strategy: Callable[[frozenset[str]], str] | None = None,
+        max_steps: int = 100_000,
+    ) -> tuple[str, ...]:
+        """Drive the workflow to completion, returning the schedule.
+
+        ``strategy`` picks the next event among the eligible set; the
+        default picks the lexicographically smallest, which is
+        deterministic and always safe on a compiled goal.
+        """
+        pick = strategy or (lambda events: min(events))
+        for _ in range(max_steps):
+            events = self.eligible()
+            if not events:
+                if self.can_finish():
+                    return self.history
+                raise SchedulingError(
+                    "workflow is stuck: no eligible event and cannot finish "
+                    "(was the goal excised?)"
+                )
+            self.fire(pick(events))
+        raise SchedulingError(f"workflow did not finish within {max_steps} steps")
+
+    # -- exhaustive enumeration ------------------------------------------------
+
+    def enumerate_schedules(self, limit: int = 200_000) -> Iterator[tuple[str, ...]]:
+        """Yield every allowed complete event sequence (depth-first).
+
+        Enumeration is linear in the path length per schedule; the *number*
+        of schedules can of course be exponential, hence ``limit``.
+        """
+        produced = 0
+        seen_outputs: set[tuple[str, ...]] = set()
+
+        def dfs(state: frozenset[Config], prefix: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+            nonlocal produced
+            if any(self._machine.is_final(config) for config in state):
+                if prefix not in seen_outputs:
+                    seen_outputs.add(prefix)
+                    produced += 1
+                    if produced > limit:
+                        raise TooManyTracesError(limit)
+                    yield prefix
+            events: dict[str, set[Config]] = {}
+            for config in state:
+                for event, targets in self._machine.successors(config).items():
+                    events.setdefault(event, set()).update(targets)
+            for event in sorted(events):
+                yield from dfs(frozenset(events[event]), prefix + (event,))
+
+        yield from dfs(self._state, tuple(self._history))

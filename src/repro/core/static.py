@@ -1,0 +1,220 @@
+"""Static analysis of (compiled) workflow goals: designer feedback.
+
+The paper emphasises design-time feedback ("the workflow designers can be
+given a feedback that might help them find the bug in their
+specifications"). Beyond the G_fail culprit of Excise, this module
+extracts three structural reports from a goal — typically the *compiled*
+goal, where the constraints have already pruned the impossible behaviour:
+
+* :func:`possible_events` — events occurring in at least one execution;
+* :func:`mandatory_events` — events occurring in *every* execution;
+* :func:`dead_activities` — activities of the source workflow that no
+  legal execution can reach (usually a sign of an over-constrained
+  specification);
+* :func:`guaranteed_orderings` — pairs ``(e, f)`` such that ``e`` precedes
+  ``f`` in every execution where both occur. The analysis uses the serial
+  structure only, so it is a sound under-approximation on goals containing
+  ``send``/``receive`` tokens (tokens can only *add* orderings).
+
+All analyses are linear in the goal size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ctr.formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    NegPath,
+    Possibility,
+    Serial,
+)
+from .compiler import CompiledWorkflow
+
+__all__ = [
+    "possible_events",
+    "mandatory_events",
+    "dead_activities",
+    "guaranteed_orderings",
+    "WorkflowReport",
+    "analyze",
+]
+
+
+def possible_events(goal: Goal) -> frozenset[str]:
+    """Events that occur in at least one execution of ``goal``."""
+    if isinstance(goal, NegPath):
+        return frozenset()
+    if isinstance(goal, Atom):
+        return frozenset((goal.name,))
+    if isinstance(goal, Possibility):
+        return frozenset()
+    if isinstance(goal, Isolated):
+        return possible_events(goal.body)
+    if isinstance(goal, (Serial, Concurrent, Choice)):
+        out: frozenset[str] = frozenset()
+        for part in goal.parts:
+            out |= possible_events(part)
+        return out
+    return frozenset()
+
+
+def mandatory_events(goal: Goal) -> frozenset[str]:
+    """Events that occur in *every* execution of ``goal``.
+
+    ``¬path`` has no executions, so vacuously every event is mandatory
+    there; by convention we return the empty set for it (callers should
+    check consistency first).
+    """
+    if isinstance(goal, (NegPath, Possibility)):
+        return frozenset()
+    if isinstance(goal, Atom):
+        return frozenset((goal.name,))
+    if isinstance(goal, Isolated):
+        return mandatory_events(goal.body)
+    if isinstance(goal, (Serial, Concurrent)):
+        out: frozenset[str] = frozenset()
+        for part in goal.parts:
+            out |= mandatory_events(part)
+        return out
+    if isinstance(goal, Choice):
+        parts = [mandatory_events(p) for p in goal.parts]
+        out = parts[0]
+        for p in parts[1:]:
+            out &= p
+        return out
+    return frozenset()
+
+
+def dead_activities(compiled: CompiledWorkflow) -> frozenset[str]:
+    """Source activities that no legal execution can reach."""
+    return possible_events(compiled.source) - possible_events(compiled.goal)
+
+
+def guaranteed_orderings(goal: Goal) -> frozenset[tuple[str, str]]:
+    """Pairs ``(e, f)``: ``e`` precedes ``f`` whenever both occur.
+
+    Derived from the serial structure: inside ``e₁ ⊗ … ⊗ eₙ`` every event
+    of an earlier part precedes every event of a later part; a pair is
+    *guaranteed* if the ordering holds in every choice alternative in
+    which both events can occur together.
+    """
+    both_possible, ordered = _orderings(goal)
+    return frozenset(pair for pair in ordered if pair in both_possible)
+
+
+def _orderings(
+    goal: Goal,
+) -> tuple[frozenset[tuple[str, str]], frozenset[tuple[str, str]]]:
+    """(pairs that may co-occur, pairs e<f ordered whenever they co-occur)."""
+    if isinstance(goal, Atom):
+        return frozenset(), frozenset()
+    if isinstance(goal, (NegPath, Possibility)):
+        return frozenset(), frozenset()
+    if isinstance(goal, Isolated):
+        return _orderings(goal.body)
+
+    if isinstance(goal, Serial):
+        co: set[tuple[str, str]] = set()
+        ordered: set[tuple[str, str]] = set()
+        seen_before: frozenset[str] = frozenset()
+        for part in goal.parts:
+            part_co, part_ordered = _orderings(part)
+            co |= part_co
+            ordered |= part_ordered
+            part_events = possible_events(part)
+            for earlier in seen_before:
+                for later in part_events:
+                    if earlier != later:
+                        co.add((earlier, later))
+                        co.add((later, earlier))
+                        ordered.add((earlier, later))
+            seen_before |= part_events
+        return frozenset(co), frozenset(ordered)
+
+    if isinstance(goal, Concurrent):
+        co = set()
+        ordered = set()
+        events_so_far: frozenset[str] = frozenset()
+        for part in goal.parts:
+            part_co, part_ordered = _orderings(part)
+            co |= part_co
+            ordered |= part_ordered
+            part_events = possible_events(part)
+            for a in events_so_far:
+                for b in part_events:
+                    if a != b:
+                        co.add((a, b))
+                        co.add((b, a))
+            events_so_far |= part_events
+        return frozenset(co), frozenset(ordered)
+
+    if isinstance(goal, Choice):
+        results = [_orderings(p) for p in goal.parts]
+        co = set().union(*(r[0] for r in results))
+        # A pair stays guaranteed iff no alternative can realise the pair
+        # unordered or reversed: ordered(e,f) holds overall when every
+        # alternative that may co-realise (e,f) orders them (e,f).
+        ordered = set()
+        for e, f in co:
+            fine = True
+            for part_co, part_ordered in results:
+                if (e, f) in part_co and (e, f) not in part_ordered:
+                    fine = False
+                    break
+            if fine:
+                ordered.add((e, f))
+        return frozenset(co), frozenset(ordered)
+
+    return frozenset(), frozenset()
+
+
+@dataclass(frozen=True)
+class WorkflowReport:
+    """Designer-facing summary of a compiled workflow."""
+
+    consistent: bool
+    possible: frozenset[str]
+    mandatory: frozenset[str]
+    optional: frozenset[str]
+    dead: frozenset[str]
+    orderings: frozenset[tuple[str, str]]
+
+    def describe(self) -> str:
+        """A readable multi-line summary."""
+        lines = [f"consistent: {self.consistent}"]
+        lines.append("mandatory: " + (", ".join(sorted(self.mandatory)) or "-"))
+        lines.append("optional:  " + (", ".join(sorted(self.optional)) or "-"))
+        lines.append("dead:      " + (", ".join(sorted(self.dead)) or "-"))
+        shown = sorted(self.orderings)[:12]
+        rendered = ", ".join(f"{a}<{b}" for a, b in shown)
+        suffix = " …" if len(self.orderings) > len(shown) else ""
+        lines.append(f"orderings: {rendered or '-'}{suffix}")
+        return "\n".join(lines)
+
+
+def analyze(compiled: CompiledWorkflow) -> WorkflowReport:
+    """Full static report over a compiled workflow."""
+    if not compiled.consistent:
+        return WorkflowReport(
+            consistent=False,
+            possible=frozenset(),
+            mandatory=frozenset(),
+            optional=frozenset(),
+            dead=possible_events(compiled.source),
+            orderings=frozenset(),
+        )
+    possible = possible_events(compiled.goal)
+    mandatory = mandatory_events(compiled.goal)
+    return WorkflowReport(
+        consistent=True,
+        possible=possible,
+        mandatory=mandatory,
+        optional=possible - mandatory,
+        dead=dead_activities(compiled),
+        orderings=guaranteed_orderings(compiled.goal),
+    )

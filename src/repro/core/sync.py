@@ -1,0 +1,78 @@
+"""The ``sync`` transformation (Definition 5.3): token-based event ordering.
+
+``sync(α < β, T)`` rewrites the goal ``T`` so that every occurrence of
+event ``α`` is followed by ``send(ξ)`` and every occurrence of ``β`` is
+preceded by ``receive(ξ)``, for a fresh token ``ξ``. Because ``receive(ξ)``
+only succeeds after ``send(ξ)`` has executed, ``β`` can no longer start
+before ``α`` is done — even when the two events live in different
+concurrent branches.
+
+Occurrences inside a ``◇`` (possibility) body are *not* rewritten: those
+executions are hypothetical and must not emit or consume real
+synchronization tokens (see DESIGN.md, "Semantic choices").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ctr.formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    alt,
+    par,
+    seq,
+)
+
+__all__ = ["TokenFactory", "sync_order"]
+
+
+class TokenFactory:
+    """Mints fresh synchronization tokens (``xi1``, ``xi2``, …).
+
+    One factory is threaded through a whole compilation so tokens never
+    collide across constraints.
+    """
+
+    def __init__(self, prefix: str = "xi"):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+
+def sync_order(alpha: str, beta: str, goal: Goal, token: str) -> Goal:
+    """Serialise ``alpha`` before ``beta`` in ``goal`` using ``token``.
+
+    Every occurrence of ``alpha`` becomes ``alpha ⊗ send(token)``; every
+    occurrence of ``beta`` becomes ``receive(token) ⊗ beta``.
+    """
+
+    def rewrite(node: Goal) -> Goal:
+        if isinstance(node, Atom):
+            if node.name == alpha:
+                return seq(node, Send(token))
+            if node.name == beta:
+                return seq(Receive(token), node)
+            return node
+        if isinstance(node, Serial):
+            return seq(*(rewrite(p) for p in node.parts))
+        if isinstance(node, Concurrent):
+            return par(*(rewrite(p) for p in node.parts))
+        if isinstance(node, Choice):
+            return alt(*(rewrite(p) for p in node.parts))
+        if isinstance(node, Isolated):
+            return Isolated(rewrite(node.body))
+        if isinstance(node, Possibility):
+            return node  # hypothetical executions exchange no real tokens
+        return node
+
+    return rewrite(goal)

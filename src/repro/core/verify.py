@@ -1,0 +1,121 @@
+"""Consistency, property verification, and redundancy (Theorems 5.8–5.10).
+
+All three decision procedures are *constructive* reductions to the
+Apply/Excise pipeline:
+
+* **Consistency** (Thm 5.8): ``G ∧ C`` is consistent iff
+  ``Excise(Apply(C, G)) ≠ ¬path``.
+* **Verification** (Thm 5.9): every legal execution of ``G ∧ C`` satisfies
+  ``Φ`` iff ``Excise(Apply(¬Φ ∧ C, G)) = ¬path``; otherwise the non-failed
+  result is the *most general counterexample* — the sub-workflow whose
+  executions are exactly the violating ones. We additionally extract one
+  concrete violating schedule for error reporting.
+* **Redundancy** (Thm 5.10): ``Φ ∈ C`` is redundant iff every execution of
+  ``G ∧ (C − {Φ})`` satisfies ``Φ``.
+
+As Proposition 4.1 shows, these problems are NP-complete in the size of
+the constraint set (never in the size of the graph — Apply is linear in
+``|G|``); for order-constraint-only specifications ``d = 1`` and the whole
+pipeline runs in polynomial time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.algebra import Constraint
+from ..constraints.normalize import negate
+from ..ctr.formulas import Goal
+from ..ctr.rules import RuleBase
+from .compiler import CompiledWorkflow, compile_workflow
+
+__all__ = [
+    "is_consistent",
+    "VerificationResult",
+    "verify_property",
+    "is_redundant",
+    "redundant_constraints",
+]
+
+
+def is_consistent(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...] = (),
+    rules: RuleBase | None = None,
+) -> bool:
+    """Theorem 5.8: does ``goal ∧ constraints`` have a legal execution?"""
+    return compile_workflow(goal, constraints, rules=rules).consistent
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of :func:`verify_property`.
+
+    ``holds`` is True when every legal execution satisfies the property.
+    Otherwise ``counterexample`` is the most general counterexample — a
+    concurrent-Horn goal whose executions are exactly the legal executions
+    violating the property — and ``witness`` is one concrete violating
+    schedule extracted from it.
+    """
+
+    property: Constraint
+    holds: bool
+    counterexample: Goal | None = None
+    witness: tuple[str, ...] | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def verify_property(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...],
+    prop: Constraint,
+    rules: RuleBase | None = None,
+) -> VerificationResult:
+    """Theorem 5.9: check that every legal execution satisfies ``prop``."""
+    negated = negate(prop)
+    violating: CompiledWorkflow = compile_workflow(
+        goal, list(constraints) + [negated], rules=rules
+    )
+    if violating.consistent:
+        witness = violating.scheduler().run()
+        return VerificationResult(
+            property=prop,
+            holds=False,
+            counterexample=violating.goal,
+            witness=witness,
+        )
+    return VerificationResult(property=prop, holds=True)
+
+
+def is_redundant(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...],
+    phi: Constraint,
+    rules: RuleBase | None = None,
+) -> bool:
+    """Theorem 5.10: is ``phi`` implied by the remaining specification?
+
+    ``phi`` must be a member of ``constraints``.
+    """
+    remaining = [c for c in constraints if c != phi]
+    if len(remaining) == len(constraints):
+        raise ValueError("phi is not one of the given constraints")
+    return verify_property(goal, remaining, phi, rules=rules).holds
+
+
+def redundant_constraints(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...],
+    rules: RuleBase | None = None,
+) -> list[Constraint]:
+    """Every constraint implied by the rest of the specification.
+
+    Note that redundancy is not monotone under removal (two constraints can
+    each be redundant given the other); this reports each constraint's
+    redundancy with respect to all the others, as in Theorem 5.10.
+    """
+    return [
+        phi for phi in constraints if is_redundant(goal, constraints, phi, rules=rules)
+    ]

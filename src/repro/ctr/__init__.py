@@ -1,0 +1,71 @@
+"""Concurrent Transaction Logic: the concurrent-Horn fragment.
+
+This subpackage implements the logical substrate of the paper: the formula
+AST (:mod:`~repro.ctr.formulas`), the unique-event property
+(:mod:`~repro.ctr.unique`), exact trace semantics used as the testing
+oracle (:mod:`~repro.ctr.traces`), the executable step semantics
+(:mod:`~repro.ctr.machine`), concurrent-Horn rules / sub-workflows
+(:mod:`~repro.ctr.rules`), plus a parser and pretty-printers.
+"""
+
+from .formulas import (
+    EMPTY,
+    NEG_PATH,
+    PATH,
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    Isolated,
+    NegPath,
+    Path,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+    alt,
+    atom,
+    atoms,
+    event_names,
+    goal_size,
+    is_concurrent_horn,
+    par,
+    seq,
+    subgoals,
+    walk,
+)
+from .machine import Config, Machine, can_complete, machine_traces
+from .parser import parse_goal
+from .pretty import pretty, pretty_tree, pretty_unicode
+from .rules import Rule, RuleBase
+from .simplify import is_failure, simplify
+from .traces import count_traces, is_executable, traces
+from .serialize import (
+    constraint_from_dict,
+    constraint_to_dict,
+    goal_from_dict,
+    goal_to_dict,
+    specification_from_dict,
+    specification_to_dict,
+)
+from .unique import check_unique_events, is_unique_event_goal, occurring_events
+from .unroll import bounded_loop, occurrence_names, recursive_heads, unroll
+
+__all__ = [
+    "Atom", "Send", "Receive", "Test", "Serial", "Concurrent", "Choice",
+    "Isolated", "Possibility", "Path", "NegPath", "Empty", "Goal",
+    "PATH", "NEG_PATH", "EMPTY",
+    "atom", "atoms", "seq", "par", "alt",
+    "goal_size", "event_names", "subgoals", "walk", "is_concurrent_horn",
+    "simplify", "is_failure",
+    "check_unique_events", "is_unique_event_goal", "occurring_events",
+    "traces", "is_executable", "count_traces",
+    "Machine", "Config", "can_complete", "machine_traces",
+    "parse_goal", "pretty", "pretty_unicode", "pretty_tree",
+    "Rule", "RuleBase",
+    "unroll", "bounded_loop", "occurrence_names", "recursive_heads",
+    "goal_to_dict", "goal_from_dict", "constraint_to_dict",
+    "constraint_from_dict", "specification_to_dict", "specification_from_dict",
+]

@@ -1,0 +1,431 @@
+"""Abstract syntax of the concurrent-Horn fragment of Concurrent Transaction Logic.
+
+This module defines the formula AST used throughout the library. It covers
+exactly the fragment the paper uses to represent workflows (Section 2):
+
+* :class:`Atom` — a workflow activity or significant event (an elementary
+  update in CTR terms);
+* :class:`Serial` — serial conjunction ``⊗`` ("execute left, then right");
+* :class:`Concurrent` — concurrent conjunction ``|`` (interleaved execution);
+* :class:`Choice` — classical disjunction ``∨`` (non-deterministic choice,
+  the "OR" nodes of control flow graphs);
+* :class:`Isolated` — the modality ``⊙`` (execute without interleaving);
+* :class:`Possibility` — the modality ``◇`` (test executability, consume
+  nothing);
+* :class:`Send` / :class:`Receive` — the communication primitives used by
+  the ``sync`` transformation (Definition 5.3);
+* :class:`Test` — a transition condition attached to a control-flow arc
+  (a state query; evaluated by the run-time engine, ignored by the static
+  trace semantics, which is exactly the paper's soundness caveat in §7);
+* :data:`PATH` and :data:`NEG_PATH` — the CTR analogues of *true on any
+  path* and *false*;
+* :data:`EMPTY` — the unit of serial conjunction (the paper's ``state``
+  proposition, true precisely on paths of length 1, i.e. "do nothing").
+
+Formulas are immutable and hashable, so they can be shared, memoised, and
+used as dictionary keys. The constructor helpers :func:`seq`, :func:`par`
+and :func:`alt` perform light structural normalisation (flattening nested
+connectives of the same kind, dropping serial units, unwrapping singletons);
+deeper simplification — in particular the ``¬path`` absorption tautologies
+of Section 5 — lives in :mod:`repro.ctr.simplify`.
+
+A small operator DSL makes specifications readable::
+
+    a, b, c = atoms("a b c")
+    goal = a >> (b | c)          # a ⊗ (b | c)
+    goal = a >> (b + c)          # a ⊗ (b ∨ c)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "Goal",
+    "Atom",
+    "Send",
+    "Receive",
+    "Test",
+    "Serial",
+    "Concurrent",
+    "Choice",
+    "Isolated",
+    "Possibility",
+    "Path",
+    "NegPath",
+    "Empty",
+    "PATH",
+    "NEG_PATH",
+    "EMPTY",
+    "atom",
+    "atoms",
+    "seq",
+    "par",
+    "alt",
+    "goal_size",
+    "event_names",
+    "subgoals",
+    "walk",
+    "is_concurrent_horn",
+]
+
+
+class Goal:
+    """Base class of all CTR goal formulas.
+
+    Supports an operator DSL:
+
+    * ``g >> h`` builds the serial conjunction ``g ⊗ h``;
+    * ``g | h`` builds the concurrent conjunction ``g | h``;
+    * ``g + h`` builds the choice ``g ∨ h``.
+    """
+
+    __slots__ = ()
+
+    def __rshift__(self, other: "Goal") -> "Goal":
+        return seq(self, other)
+
+    def __or__(self, other: "Goal") -> "Goal":
+        return par(self, other)
+
+    def __add__(self, other: "Goal") -> "Goal":
+        return alt(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .pretty import pretty
+
+        return f"<{type(self).__name__} {pretty(self)}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Goal):
+    """A workflow activity / significant event.
+
+    In CTR terms this is a variable-free atomic formula denoting an
+    elementary update. Under assumption (2) of the paper, significant
+    events are elementary updates that apply in every state (they merely
+    append a record to the system log), so an :class:`Atom` is always
+    executable and emits its name into the execution trace.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atom name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Send(Goal):
+    """``send(token)`` — emit a synchronization token (Definition 5.3).
+
+    Always executable; records the token so that the matching
+    :class:`Receive` becomes enabled. Invisible in event traces.
+    """
+
+    token: str
+
+    def __str__(self) -> str:
+        return f"send({self.token})"
+
+
+@dataclass(frozen=True, slots=True)
+class Receive(Goal):
+    """``receive(token)`` — block until the matching token has been sent.
+
+    ``receive(t)`` is true iff ``send(t)`` has previously executed; this is
+    how the ``sync`` transformation serialises two events that live in
+    different concurrent branches. Invisible in event traces.
+    """
+
+    token: str
+
+    def __str__(self) -> str:
+        return f"receive({self.token})"
+
+
+@dataclass(frozen=True, slots=True)
+class Test(Goal):
+    """A transition condition on a control-flow arc.
+
+    ``Test`` queries the current database state and succeeds without
+    changing it (a path of length 1 in CTR terms). The optional
+    ``predicate`` is consulted by the run-time engine
+    (:mod:`repro.core.engine`); static analysis treats a test as always
+    passable, which makes compilation *sound but not complete* for graphs
+    with transition conditions — the caveat of Section 7 of the paper.
+
+    The predicate is excluded from equality/hashing: two tests with the
+    same name are the same condition.
+    """
+
+    # Not a test-case class, despite the name (pytest collection hint).
+    __test__ = False
+
+    name: str
+    predicate: Optional[Callable[..., bool]] = field(
+        default=None, compare=False, hash=False, repr=False
+    )
+
+    def __str__(self) -> str:
+        return f"{self.name}?"
+
+
+class _CachesHash:
+    """Mixin: lazily cache the structural hash (see the composite classes).
+
+    Residuation rebuilds long serial goals once per execution step; without
+    caching, every set-membership test re-hashes the whole subtree and a
+    length-n schedule costs Θ(n²) in hashing alone.
+    """
+
+    __slots__ = ()
+
+    def __hash__(self) -> int:
+        h = self._hash  # type: ignore[attr-defined]
+        if h == -1:
+            h = hash((type(self).__name__, self.parts))  # type: ignore[attr-defined]
+            if h == -1:
+                h = -2
+            object.__setattr__(self, "_hash", h)
+        return h
+
+
+@dataclass(frozen=True, slots=True)
+class Serial(_CachesHash, Goal):
+    """Serial conjunction ``T₁ ⊗ T₂ ⊗ … ⊗ Tₙ`` — execute parts in order."""
+
+    parts: tuple[Goal, ...]
+    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Serial needs at least two parts; use seq() to build")
+
+    __hash__ = _CachesHash.__hash__
+
+
+@dataclass(frozen=True, slots=True)
+class Concurrent(_CachesHash, Goal):
+    """Concurrent conjunction ``T₁ | T₂ | … | Tₙ`` — interleave parts."""
+
+    parts: tuple[Goal, ...]
+    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concurrent needs at least two parts; use par() to build")
+
+    __hash__ = _CachesHash.__hash__
+
+
+@dataclass(frozen=True, slots=True)
+class Choice(_CachesHash, Goal):
+    """Disjunction ``T₁ ∨ T₂ ∨ … ∨ Tₙ`` — execute exactly one part."""
+
+    parts: tuple[Goal, ...]
+    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Choice needs at least two parts; use alt() to build")
+
+    __hash__ = _CachesHash.__hash__
+
+
+@dataclass(frozen=True, slots=True)
+class Isolated(Goal):
+    """``⊙ T`` — execute ``T`` without interleaving with concurrent activity."""
+
+    body: Goal
+
+    def __str__(self) -> str:
+        return f"isolated({self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Possibility(Goal):
+    """``◇ T`` — succeed iff ``T`` *could* execute here; consume nothing.
+
+    Events inside a possibility test are hypothetical: they do not occur in
+    the actual execution, hence do not count for the unique-event property
+    nor for temporal constraints (see DESIGN.md, "Semantic choices").
+    """
+
+    body: Goal
+
+    def __str__(self) -> str:
+        return f"possible({self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Path(Goal):
+    """The proposition ``path`` — true on every execution path."""
+
+    def __str__(self) -> str:
+        return "path"
+
+
+@dataclass(frozen=True, slots=True)
+class NegPath(Goal):
+    """``¬path`` — the non-executable transaction, CTR's analogue of false."""
+
+    def __str__(self) -> str:
+        return "neg_path"
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Goal):
+    """The unit of ``⊗``: the paper's ``state`` proposition ("do nothing")."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+PATH = Path()
+NEG_PATH = NegPath()
+EMPTY = Empty()
+
+
+def atom(name: str) -> Atom:
+    """Build a single activity/event atom."""
+    return Atom(name)
+
+
+def atoms(names: str | Iterable[str]) -> tuple[Atom, ...]:
+    """Build several atoms at once.
+
+    Accepts either a whitespace/comma separated string or an iterable of
+    names::
+
+        a, b, c = atoms("a b c")
+    """
+    if isinstance(names, str):
+        names = names.replace(",", " ").split()
+    return tuple(Atom(n) for n in names)
+
+
+def _flatten(kind: type, parts: Iterable[Goal]) -> Iterator[Goal]:
+    for part in parts:
+        if isinstance(part, kind):
+            yield from part.parts  # type: ignore[attr-defined]
+        else:
+            yield part
+
+
+def seq(*parts: Goal) -> Goal:
+    """Serial conjunction of ``parts``, flattened, with units removed.
+
+    ``seq()`` is :data:`EMPTY`; ``seq(g)`` is ``g``. A ``NEG_PATH`` part
+    absorbs the whole composition (``¬path ⊗ φ ≡ ¬path``).
+    """
+    flat = [p for p in _flatten(Serial, parts) if p is not EMPTY and not isinstance(p, Empty)]
+    if any(isinstance(p, NegPath) for p in flat):
+        return NEG_PATH
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Serial(tuple(flat))
+
+
+def par(*parts: Goal) -> Goal:
+    """Concurrent conjunction of ``parts``, flattened, with units removed."""
+    flat = [p for p in _flatten(Concurrent, parts) if p is not EMPTY and not isinstance(p, Empty)]
+    if any(isinstance(p, NegPath) for p in flat):
+        return NEG_PATH
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Concurrent(tuple(flat))
+
+
+def alt(*parts: Goal) -> Goal:
+    """Choice between ``parts``, flattened and de-duplicated.
+
+    ``NEG_PATH`` alternatives are dropped (``¬path ∨ φ ≡ φ``); if every
+    alternative is ``NEG_PATH`` the result is ``NEG_PATH``.
+    """
+    flat: list[Goal] = []
+    seen: set[Goal] = set()
+    for p in _flatten(Choice, parts):
+        if isinstance(p, NegPath):
+            continue
+        if p not in seen:
+            seen.add(p)
+            flat.append(p)
+    if not flat:
+        return NEG_PATH
+    if len(flat) == 1:
+        return flat[0]
+    return Choice(tuple(flat))
+
+
+def subgoals(goal: Goal) -> tuple[Goal, ...]:
+    """Immediate children of ``goal`` (empty for leaves)."""
+    if isinstance(goal, (Serial, Concurrent, Choice)):
+        return goal.parts
+    if isinstance(goal, (Isolated, Possibility)):
+        return (goal.body,)
+    return ()
+
+
+def walk(goal: Goal) -> Iterator[Goal]:
+    """Pre-order traversal of every node of ``goal`` (including itself)."""
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(subgoals(node)))
+
+
+def goal_size(goal: Goal) -> int:
+    """Number of AST nodes — the measure ``|G|`` of Theorem 5.11."""
+    return sum(1 for _ in walk(goal))
+
+
+def event_names(goal: Goal, include_hypothetical: bool = False) -> frozenset[str]:
+    """Names of the significant events that may *occur* in an execution.
+
+    ``Send``/``Receive``/``Test`` are not significant events. Events under a
+    ``Possibility`` test are hypothetical and excluded unless
+    ``include_hypothetical`` is set.
+    """
+    names: set[str] = set()
+
+    def visit(node: Goal) -> None:
+        if isinstance(node, Atom):
+            names.add(node.name)
+        elif isinstance(node, Possibility):
+            if include_hypothetical:
+                visit(node.body)
+        else:
+            for child in subgoals(node):
+                visit(child)
+
+    visit(goal)
+    return frozenset(names)
+
+
+def is_concurrent_horn(goal: Goal) -> bool:
+    """True iff ``goal`` lies in the concurrent-Horn fragment (Section 2).
+
+    Concurrent-Horn goals are built from atomic formulas with ``⊗``, ``|``,
+    ``∨``, ``⊙`` and ``◇``. ``¬path`` is *not* concurrent-Horn (the paper
+    simplifies it away after Apply); ``path`` is not either, because it is
+    defined with negation.
+    """
+    for node in walk(goal):
+        if isinstance(node, (Path, NegPath)):
+            return False
+        if not isinstance(
+            node,
+            (Atom, Send, Receive, Test, Empty, Serial, Concurrent, Choice, Isolated, Possibility),
+        ):
+            return False
+    return True

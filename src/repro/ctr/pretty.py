@@ -1,0 +1,129 @@
+"""Pretty printing of CTR goals.
+
+Two surface syntaxes are provided:
+
+* :func:`pretty` — compact ASCII syntax that round-trips through
+  :mod:`repro.ctr.parser`:
+
+  ========  ==============================
+  ``*``     serial conjunction ``⊗``
+  ``|``     concurrent conjunction
+  ``+``     choice ``∨``
+  ``[T]``   isolated execution ``⊙T``
+  ``<T>``   possibility ``◇T``
+  ========  ==============================
+
+* :func:`pretty_unicode` — the paper's notation (``⊗``, ``∨``, ``⊙``, ``◇``).
+
+Parentheses are emitted only where required by precedence
+(``*`` binds tightest, then ``|``, then ``+``).
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    Isolated,
+    NegPath,
+    Path,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+)
+
+__all__ = ["pretty", "pretty_unicode", "pretty_tree"]
+
+# Precedence levels: larger binds tighter.
+_PREC_CHOICE = 1
+_PREC_CONCUR = 2
+_PREC_SERIAL = 3
+_PREC_ATOM = 4
+
+
+def _render(goal: Goal, ops: dict[str, str], parent_prec: int) -> str:
+    if isinstance(goal, Atom):
+        return goal.name
+    if isinstance(goal, Send):
+        return f"send({goal.token})"
+    if isinstance(goal, Receive):
+        return f"receive({goal.token})"
+    if isinstance(goal, Test):
+        return f"{goal.name}?"
+    if isinstance(goal, Path):
+        return ops["path"]
+    if isinstance(goal, NegPath):
+        return ops["neg_path"]
+    if isinstance(goal, Empty):
+        return ops["empty"]
+    if isinstance(goal, Isolated):
+        return f"[{_render(goal.body, ops, 0)}]"
+    if isinstance(goal, Possibility):
+        return f"<{_render(goal.body, ops, 0)}>"
+
+    if isinstance(goal, Serial):
+        prec, symbol = _PREC_SERIAL, ops["serial"]
+    elif isinstance(goal, Concurrent):
+        prec, symbol = _PREC_CONCUR, ops["concurrent"]
+    elif isinstance(goal, Choice):
+        prec, symbol = _PREC_CHOICE, ops["choice"]
+    else:  # pragma: no cover - future node kinds
+        raise TypeError(f"cannot pretty-print {type(goal).__name__}")
+
+    body = symbol.join(_render(p, ops, prec) for p in goal.parts)
+    if prec < parent_prec:
+        return f"({body})"
+    return body
+
+
+_ASCII_OPS = {
+    "serial": " * ",
+    "concurrent": " | ",
+    "choice": " + ",
+    "path": "path",
+    "neg_path": "fail",
+    "empty": "()",
+}
+
+_UNICODE_OPS = {
+    "serial": " ⊗ ",
+    "concurrent": " | ",
+    "choice": " ∨ ",
+    "path": "path",
+    "neg_path": "¬path",
+    "empty": "ε",
+}
+
+
+def pretty(goal: Goal) -> str:
+    """Compact ASCII rendering; parseable by :func:`repro.ctr.parser.parse_goal`."""
+    return _render(goal, _ASCII_OPS, 0)
+
+
+def pretty_unicode(goal: Goal) -> str:
+    """Rendering in the paper's notation (``⊗``/``∨``/``¬path``)."""
+    return _render(goal, _UNICODE_OPS, 0)
+
+
+def pretty_tree(goal: Goal, indent: str = "") -> str:
+    """Multi-line tree rendering, useful for inspecting large compiled goals."""
+    from .formulas import subgoals
+
+    label = type(goal).__name__
+    if isinstance(goal, Atom):
+        label = f"Atom {goal.name}"
+    elif isinstance(goal, Send):
+        label = f"Send {goal.token}"
+    elif isinstance(goal, Receive):
+        label = f"Receive {goal.token}"
+    elif isinstance(goal, Test):
+        label = f"Test {goal.name}"
+    lines = [indent + label]
+    for child in subgoals(goal):
+        lines.append(pretty_tree(child, indent + "  "))
+    return "\n".join(lines)

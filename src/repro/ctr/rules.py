@@ -1,0 +1,151 @@
+"""Concurrent-Horn rules and sub-workflow definitions.
+
+A concurrent-Horn rule ``head ← body`` names a sub-workflow: using ``head``
+inside another goal behaves as if ``body`` were inlined (Section 2 of the
+paper: "sub-workflows can be described using concurrent-Horn goals").
+Several rules with the same head define alternative implementations — using
+the head is then a non-deterministic choice among the bodies, exactly the
+SLD reading of multiple clauses.
+
+The paper restricts itself to *non-iterative* workflows, i.e. no recursive
+rules; :class:`RuleBase` enforces this and :meth:`RuleBase.expand` inlines
+all definitions bottom-up, yielding a rule-free goal suitable for the
+Apply/Excise pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RecursionError_, SpecificationError
+from .formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    Possibility,
+    Serial,
+    alt,
+    par,
+    seq,
+)
+
+__all__ = ["Rule", "RuleBase"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A concurrent-Horn rule ``head ← body`` defining a sub-workflow."""
+
+    head: str
+    body: Goal
+
+    def __post_init__(self) -> None:
+        if not self.head:
+            raise SpecificationError("rule head must be a non-empty name")
+
+
+class RuleBase:
+    """An ordered collection of non-recursive concurrent-Horn rules.
+
+    >>> from repro.ctr.formulas import atoms
+    >>> a, b, c = atoms("a b c")
+    >>> rb = RuleBase([Rule("book", a >> b), Rule("book", c)])
+    >>> rb.expand(Atom("book"))      # doctest: +SKIP
+    (a ⊗ b) ∨ c
+    """
+
+    def __init__(self, rules: list[Rule] | None = None):
+        self._bodies: dict[str, list[Goal]] = {}
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        """Add a rule, re-validating that the base stays non-recursive."""
+        self._bodies.setdefault(rule.head, []).append(rule.body)
+        try:
+            self.check_nonrecursive()
+        except RecursionError_:
+            self._bodies[rule.head].pop()
+            if not self._bodies[rule.head]:
+                del self._bodies[rule.head]
+            raise
+
+    @property
+    def heads(self) -> frozenset[str]:
+        """Names defined by this rule base."""
+        return frozenset(self._bodies)
+
+    def bodies(self, head: str) -> tuple[Goal, ...]:
+        """The alternative definitions of ``head``."""
+        return tuple(self._bodies.get(head, ()))
+
+    def definition(self, head: str) -> Goal:
+        """The single-goal definition of ``head`` (choice over its bodies)."""
+        bodies = self.bodies(head)
+        if not bodies:
+            raise SpecificationError(f"no rule defines {head!r}")
+        return alt(*bodies) if len(bodies) > 1 else bodies[0]
+
+    # -- recursion check ------------------------------------------------------
+
+    def _dependencies(self, head: str) -> frozenset[str]:
+        deps: set[str] = set()
+        for body in self._bodies.get(head, ()):
+            for node in _atom_names(body):
+                if node in self._bodies:
+                    deps.add(node)
+        return frozenset(deps)
+
+    def check_nonrecursive(self) -> None:
+        """Raise :class:`~repro.errors.RecursionError_` on cyclic definitions."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {head: WHITE for head in self._bodies}
+        trail: list[str] = []
+
+        def visit(head: str) -> None:
+            colour[head] = GREY
+            trail.append(head)
+            for dep in sorted(self._dependencies(head)):
+                if colour[dep] == GREY:
+                    cycle_start = trail.index(dep)
+                    raise RecursionError_(tuple(trail[cycle_start:]) + (dep,))
+                if colour[dep] == WHITE:
+                    visit(dep)
+            trail.pop()
+            colour[head] = BLACK
+
+        for head in sorted(self._bodies):
+            if colour[head] == WHITE:
+                visit(head)
+
+    # -- expansion -------------------------------------------------------------
+
+    def expand(self, goal: Goal) -> Goal:
+        """Inline every sub-workflow definition, producing a rule-free goal."""
+        if isinstance(goal, Atom) and goal.name in self._bodies:
+            return self.expand(self.definition(goal.name))
+        if isinstance(goal, Serial):
+            return seq(*(self.expand(p) for p in goal.parts))
+        if isinstance(goal, Concurrent):
+            return par(*(self.expand(p) for p in goal.parts))
+        if isinstance(goal, Choice):
+            return alt(*(self.expand(p) for p in goal.parts))
+        if isinstance(goal, Isolated):
+            return Isolated(self.expand(goal.body))
+        if isinstance(goal, Possibility):
+            return Possibility(self.expand(goal.body))
+        return goal
+
+
+def _atom_names(goal: Goal):
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            yield node.name
+        elif isinstance(node, (Serial, Concurrent, Choice)):
+            stack.extend(node.parts)
+        elif isinstance(node, (Isolated, Possibility)):
+            stack.append(node.body)

@@ -1,0 +1,209 @@
+"""JSON-friendly serialization of goals, constraints, and rules.
+
+Workflow specifications are data: teams store them in repositories, ship
+them between services, and diff them in reviews. This module provides a
+stable dictionary encoding for every CTR goal node and every CONSTR
+constraint, round-tripping through ``json``::
+
+    >>> import json
+    >>> from repro.ctr.formulas import atoms
+    >>> from repro.ctr.serialize import goal_from_dict, goal_to_dict
+    >>> a, b = atoms("a b")
+    >>> goal_from_dict(json.loads(json.dumps(goal_to_dict(a >> b)))) == (a >> b)
+    True
+
+``Test`` predicates are Python callables and are deliberately *not*
+serialized — only the condition name survives, and the loader produces a
+predicate-less ``Test`` (static reading). Re-attach predicates after
+loading if run-time evaluation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..constraints.algebra import (
+    And,
+    Constraint,
+    Or,
+    Primitive,
+    SerialConstraint,
+    conj,
+    disj,
+)
+from ..errors import SpecificationError
+from .formulas import (
+    EMPTY,
+    NEG_PATH,
+    PATH,
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    Isolated,
+    NegPath,
+    Path,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+    alt,
+    par,
+    seq,
+)
+from .rules import Rule, RuleBase
+
+__all__ = [
+    "goal_to_dict",
+    "goal_from_dict",
+    "constraint_to_dict",
+    "constraint_from_dict",
+    "rules_to_dict",
+    "rules_from_dict",
+    "specification_to_dict",
+    "specification_from_dict",
+]
+
+
+def goal_to_dict(goal: Goal) -> dict[str, Any]:
+    """Encode a goal as plain dictionaries/lists/strings."""
+    if isinstance(goal, Atom):
+        return {"kind": "atom", "name": goal.name}
+    if isinstance(goal, Send):
+        return {"kind": "send", "token": goal.token}
+    if isinstance(goal, Receive):
+        return {"kind": "receive", "token": goal.token}
+    if isinstance(goal, Test):
+        return {"kind": "test", "name": goal.name}
+    if isinstance(goal, Empty):
+        return {"kind": "empty"}
+    if isinstance(goal, Path):
+        return {"kind": "path"}
+    if isinstance(goal, NegPath):
+        return {"kind": "neg_path"}
+    if isinstance(goal, Serial):
+        return {"kind": "serial", "parts": [goal_to_dict(p) for p in goal.parts]}
+    if isinstance(goal, Concurrent):
+        return {"kind": "concurrent", "parts": [goal_to_dict(p) for p in goal.parts]}
+    if isinstance(goal, Choice):
+        return {"kind": "choice", "parts": [goal_to_dict(p) for p in goal.parts]}
+    if isinstance(goal, Isolated):
+        return {"kind": "isolated", "body": goal_to_dict(goal.body)}
+    if isinstance(goal, Possibility):
+        return {"kind": "possibility", "body": goal_to_dict(goal.body)}
+    from .machine import Running
+
+    if isinstance(goal, Running):
+        # Machine-internal marker: an isolated region already in progress
+        # (appears in scheduler checkpoints).
+        return {"kind": "running", "body": goal_to_dict(goal.body)}
+    raise SpecificationError(f"cannot serialize {type(goal).__name__}")
+
+
+def goal_from_dict(data: dict[str, Any]) -> Goal:
+    """Decode :func:`goal_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "atom":
+        return Atom(data["name"])
+    if kind == "send":
+        return Send(data["token"])
+    if kind == "receive":
+        return Receive(data["token"])
+    if kind == "test":
+        return Test(data["name"])
+    if kind == "empty":
+        return EMPTY
+    if kind == "path":
+        return PATH
+    if kind == "neg_path":
+        return NEG_PATH
+    if kind == "serial":
+        return seq(*(goal_from_dict(p) for p in data["parts"]))
+    if kind == "concurrent":
+        return par(*(goal_from_dict(p) for p in data["parts"]))
+    if kind == "choice":
+        return alt(*(goal_from_dict(p) for p in data["parts"]))
+    if kind == "isolated":
+        return Isolated(goal_from_dict(data["body"]))
+    if kind == "possibility":
+        return Possibility(goal_from_dict(data["body"]))
+    if kind == "running":
+        from .machine import Running
+
+        return Running(goal_from_dict(data["body"]))
+    raise SpecificationError(f"unknown goal kind {kind!r}")
+
+
+def constraint_to_dict(constraint: Constraint) -> dict[str, Any]:
+    """Encode a CONSTR constraint."""
+    if isinstance(constraint, Primitive):
+        return {
+            "kind": "primitive",
+            "event": constraint.event,
+            "positive": constraint.positive,
+        }
+    if isinstance(constraint, SerialConstraint):
+        return {"kind": "serial", "events": list(constraint.events)}
+    if isinstance(constraint, And):
+        return {"kind": "and", "parts": [constraint_to_dict(p) for p in constraint.parts]}
+    if isinstance(constraint, Or):
+        return {"kind": "or", "parts": [constraint_to_dict(p) for p in constraint.parts]}
+    raise SpecificationError(f"cannot serialize {type(constraint).__name__}")
+
+
+def constraint_from_dict(data: dict[str, Any]) -> Constraint:
+    """Decode :func:`constraint_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "primitive":
+        return Primitive(data["event"], positive=bool(data["positive"]))
+    if kind == "serial":
+        return SerialConstraint(tuple(data["events"]))
+    if kind == "and":
+        return conj(*(constraint_from_dict(p) for p in data["parts"]))
+    if kind == "or":
+        return disj(*(constraint_from_dict(p) for p in data["parts"]))
+    raise SpecificationError(f"unknown constraint kind {kind!r}")
+
+
+def rules_to_dict(rules: RuleBase) -> dict[str, list[dict[str, Any]]]:
+    """Encode a rule base as head → list of body encodings."""
+    return {
+        head: [goal_to_dict(body) for body in rules.bodies(head)]
+        for head in sorted(rules.heads)
+    }
+
+
+def rules_from_dict(data: dict[str, list[dict[str, Any]]]) -> RuleBase:
+    """Decode :func:`rules_to_dict` output."""
+    base = RuleBase()
+    for head, bodies in data.items():
+        for body in bodies:
+            base.add(Rule(head, goal_from_dict(body)))
+    return base
+
+
+def specification_to_dict(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...] = (),
+    rules: RuleBase | None = None,
+) -> dict[str, Any]:
+    """Encode a full workflow specification."""
+    out: dict[str, Any] = {
+        "goal": goal_to_dict(goal),
+        "constraints": [constraint_to_dict(c) for c in constraints],
+    }
+    if rules is not None and rules.heads:
+        out["rules"] = rules_to_dict(rules)
+    return out
+
+
+def specification_from_dict(
+    data: dict[str, Any],
+) -> tuple[Goal, list[Constraint], RuleBase | None]:
+    """Decode :func:`specification_to_dict` output."""
+    goal = goal_from_dict(data["goal"])
+    constraints = [constraint_from_dict(c) for c in data.get("constraints", [])]
+    rules = rules_from_dict(data["rules"]) if "rules" in data else None
+    return goal, constraints, rules

@@ -1,0 +1,92 @@
+"""Simplification of CTR goals via the tautologies of Section 5.
+
+After the Apply transformation the intermediate goal may contain ``¬path``
+literals. The paper removes them with the tautologies::
+
+    ¬path ⊗ φ ≡ φ ⊗ ¬path ≡ ¬path
+    ¬path | φ ≡ φ | ¬path ≡ ¬path
+    ¬path ∨ φ ≡ φ ∨ ¬path ≡ φ
+
+:func:`simplify` applies these bottom-up, together with a handful of
+trivially-sound structural clean-ups (flattening, serial units, duplicate
+choice branches, collapse of ``⊙``/``◇`` over leaves), so the result is
+either a concurrent-Horn goal or the single literal ``NEG_PATH``.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    EMPTY,
+    NEG_PATH,
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    Isolated,
+    NegPath,
+    Path,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+    alt,
+    par,
+    seq,
+)
+
+__all__ = ["simplify", "is_failure"]
+
+
+def is_failure(goal: Goal) -> bool:
+    """True iff ``goal`` is the non-executable transaction ``¬path``."""
+    return isinstance(goal, NegPath)
+
+
+def simplify(goal: Goal) -> Goal:
+    """Normalise ``goal`` by propagating ``¬path`` and flattening connectives.
+
+    The result is semantically equivalent to the input (same set of valid
+    executions) and is either :data:`~repro.ctr.formulas.NEG_PATH` or free
+    of ``¬path`` literals.
+    """
+    if isinstance(goal, (Atom, Send, Receive, Test, Path, NegPath, Empty)):
+        return goal
+
+    if isinstance(goal, Serial):
+        return seq(*(simplify(p) for p in goal.parts))
+
+    if isinstance(goal, Concurrent):
+        return par(*(simplify(p) for p in goal.parts))
+
+    if isinstance(goal, Choice):
+        return alt(*(simplify(p) for p in goal.parts))
+
+    if isinstance(goal, Isolated):
+        body = simplify(goal.body)
+        if isinstance(body, NegPath):
+            return NEG_PATH
+        if isinstance(body, Empty):
+            return EMPTY
+        # ⊙ over a single elementary step is a no-op: nothing can interleave
+        # inside one step anyway.
+        if isinstance(body, (Atom, Send, Receive, Test)):
+            return body
+        # ⊙⊙T ≡ ⊙T
+        if isinstance(body, Isolated):
+            return body
+        return Isolated(body)
+
+    if isinstance(goal, Possibility):
+        body = simplify(goal.body)
+        if isinstance(body, NegPath):
+            return NEG_PATH
+        if isinstance(body, Empty):
+            return EMPTY
+        # ◇◇T ≡ ◇T
+        if isinstance(body, Possibility):
+            return body
+        return Possibility(body)
+
+    raise TypeError(f"cannot simplify {type(goal).__name__}")  # pragma: no cover

@@ -1,0 +1,195 @@
+"""Enumerable trace semantics for unique-event concurrent-Horn goals.
+
+Under assumption (2) of the paper — significant events are elementary
+updates that apply in *every* state — the valid executions of a goal are
+fully characterised by the sequences of events they emit. This module
+enumerates that set exactly:
+
+* ``⊗`` concatenates traces,
+* ``|`` shuffles (interleaves) them,
+* ``∨`` unions them,
+* ``⊙`` forces its body's trace to appear as a contiguous block,
+* ``◇`` contributes the empty trace iff its body is executable at all,
+* ``send``/``receive`` restrict the shuffles: a ``receive(t)`` step is only
+  valid after the matching ``send(t)`` — the interleavings violating this
+  are discarded, and the surviving traces are projected onto significant
+  events.
+
+Enumeration is exponential in the parallel width of the goal. That is by
+design: this module is the *semantic oracle* used by the test-suite to
+validate the Apply/Excise compiler (``traces(Apply(C,G)) == {t ∈ traces(G) :
+t ⊨ C}``) and by the brute-force baselines. Scalable execution goes through
+:mod:`repro.ctr.machine` and :mod:`repro.core.scheduler` instead.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Union
+
+from ..errors import SpecificationError
+from .formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    Isolated,
+    NegPath,
+    Path,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+)
+
+__all__ = ["traces", "is_executable", "count_traces", "TooManyTracesError"]
+
+# A low-level step is an event name, a ("send", token) / ("recv", token)
+# marker, or a Block wrapping a completed isolated sub-trace.
+_Step = Union[str, tuple]
+
+
+class _Block(tuple):
+    """A contiguous (isolated) run of steps, shuffled as a single unit."""
+
+    __slots__ = ()
+
+
+class TooManyTracesError(SpecificationError):
+    """Raised when enumeration exceeds the caller-supplied budget."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"trace enumeration exceeded the budget of {limit} sequences")
+
+
+@lru_cache(maxsize=65536)
+def _shuffle_pair(xs: tuple, ys: tuple) -> frozenset:
+    """All interleavings of the two step sequences ``xs`` and ``ys``."""
+    if not xs:
+        return frozenset((ys,))
+    if not ys:
+        return frozenset((xs,))
+    first_x, rest_x = xs[0], xs[1:]
+    first_y, rest_y = ys[0], ys[1:]
+    out = set()
+    for tail in _shuffle_pair(rest_x, ys):
+        out.add((first_x,) + tail)
+    for tail in _shuffle_pair(xs, rest_y):
+        out.add((first_y,) + tail)
+    return frozenset(out)
+
+
+def _shuffle_sets(trace_sets: list[frozenset]) -> frozenset:
+    result: frozenset = frozenset(((),))
+    for ts in trace_sets:
+        merged = set()
+        for left in result:
+            for right in ts:
+                merged |= _shuffle_pair(left, right)
+        result = frozenset(merged)
+    return result
+
+
+def _concat_sets(trace_sets: list[frozenset]) -> frozenset:
+    result: frozenset = frozenset(((),))
+    for ts in trace_sets:
+        result = frozenset(left + right for left in result for right in ts)
+    return result
+
+
+def _step_traces(goal: Goal, budget: list[int]) -> frozenset:
+    """Raw step sequences of ``goal`` (tokens unvalidated, blocks unflattened)."""
+    if isinstance(goal, Atom):
+        return frozenset(((goal.name,),))
+    if isinstance(goal, Send):
+        return frozenset(((("send", goal.token),),))
+    if isinstance(goal, Receive):
+        return frozenset(((("recv", goal.token),),))
+    if isinstance(goal, (Test, Empty)):
+        # Statically passable, emits nothing.
+        return frozenset(((),))
+    if isinstance(goal, NegPath):
+        return frozenset()
+    if isinstance(goal, Path):
+        raise SpecificationError(
+            "the proposition `path` admits arbitrary executions and cannot be "
+            "enumerated; it belongs in constraints, not goals"
+        )
+    if isinstance(goal, Possibility):
+        return frozenset(((),)) if is_executable(goal.body) else frozenset()
+    if isinstance(goal, Isolated):
+        inner = _step_traces(goal.body, budget)
+        wrapped = set()
+        for t in inner:
+            wrapped.add((_Block(t),) if len(t) > 1 else t)
+        return frozenset(wrapped)
+    if isinstance(goal, Serial):
+        result = _concat_sets([_step_traces(p, budget) for p in goal.parts])
+    elif isinstance(goal, Concurrent):
+        result = _shuffle_sets([_step_traces(p, budget) for p in goal.parts])
+    elif isinstance(goal, Choice):
+        merged: set = set()
+        for p in goal.parts:
+            merged |= _step_traces(p, budget)
+        result = frozenset(merged)
+    else:  # pragma: no cover - future node kinds
+        raise TypeError(f"cannot enumerate {type(goal).__name__}")
+
+    budget[0] -= len(result)
+    if budget[0] < 0:
+        raise TooManyTracesError(budget[1])
+    return result
+
+
+def _flatten(steps: Iterable[_Step]):
+    for step in steps:
+        if isinstance(step, _Block):
+            yield from _flatten(step)
+        else:
+            yield step
+
+
+def _validate_and_project(steps: Iterable[_Step]) -> tuple[str, ...] | None:
+    """Check send-before-receive, drop markers; None if the order is invalid."""
+    sent: set[str] = set()
+    events: list[str] = []
+    for step in _flatten(steps):
+        if isinstance(step, tuple):
+            kind, token = step
+            if kind == "send":
+                sent.add(token)
+            else:  # "recv"
+                if token not in sent:
+                    return None
+        else:
+            events.append(step)
+    return tuple(events)
+
+
+def traces(goal: Goal, max_traces: int = 200_000) -> frozenset[tuple[str, ...]]:
+    """All valid event sequences of ``goal``.
+
+    ``max_traces`` bounds the intermediate enumeration; exceeding it raises
+    :class:`TooManyTracesError` rather than consuming unbounded memory.
+    """
+    budget = [max_traces, max_traces]
+    raw = _step_traces(goal, budget)
+    out = set()
+    for t in raw:
+        projected = _validate_and_project(t)
+        if projected is not None:
+            out.add(projected)
+    return frozenset(out)
+
+
+def is_executable(goal: Goal, max_traces: int = 200_000) -> bool:
+    """True iff ``goal`` has at least one valid execution (by enumeration)."""
+    return bool(traces(goal, max_traces=max_traces))
+
+
+def count_traces(goal: Goal, max_traces: int = 200_000) -> int:
+    """Number of distinct valid event sequences of ``goal``."""
+    return len(traces(goal, max_traces=max_traces))

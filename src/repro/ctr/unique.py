@@ -1,0 +1,91 @@
+"""The unique-event property (Definition 3.1) and its linear-time checker.
+
+A concurrent-Horn goal has the *unique event property* iff every significant
+event occurs at most once in any execution. The paper's observations (3)
+give the compositional characterisation we implement:
+
+* ``E₁ ⊗ E₂`` / ``E₁ | E₂`` are unique-event iff both parts are and their
+  event sets are disjoint;
+* ``E₁ ∨ E₂`` is unique-event iff both parts are (overlap is fine — only
+  one branch executes).
+
+This syntactic check is *exact* for unique-event subparts: every syntactic
+event occurrence inside a unique-event goal is realised by some execution
+(choices can always select the branch containing it), so a shared event
+between two serial/concurrent siblings really does yield a double
+occurrence on some path.
+
+Events under a ``◇`` test are hypothetical and do not count as occurrences.
+"""
+
+from __future__ import annotations
+
+from ..errors import UniqueEventError
+from .formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    Possibility,
+    Serial,
+)
+
+__all__ = ["check_unique_events", "is_unique_event_goal", "occurring_events"]
+
+
+def occurring_events(goal: Goal) -> frozenset[str]:
+    """Events that may occur in some execution of ``goal``.
+
+    Raises :class:`~repro.errors.UniqueEventError` if the unique-event
+    property is violated; i.e. this function *is* the checker and returns
+    the occurrence set as a byproduct.
+    """
+    return _occ(goal)
+
+
+def _occ(goal: Goal) -> frozenset[str]:
+    if isinstance(goal, Atom):
+        return frozenset((goal.name,))
+
+    if isinstance(goal, Possibility):
+        # Hypothetical execution: its events never actually occur, but the
+        # body must itself be well-formed.
+        _occ(goal.body)
+        return frozenset()
+
+    if isinstance(goal, Isolated):
+        return _occ(goal.body)
+
+    if isinstance(goal, (Serial, Concurrent)):
+        seen: set[str] = set()
+        for part in goal.parts:
+            part_events = _occ(part)
+            overlap = seen & part_events
+            if overlap:
+                raise UniqueEventError(min(overlap))
+            seen |= part_events
+        return frozenset(seen)
+
+    if isinstance(goal, Choice):
+        union: set[str] = set()
+        for part in goal.parts:
+            union |= _occ(part)
+        return frozenset(union)
+
+    # Send / Receive / Test / Path / NegPath / Empty carry no events.
+    return frozenset()
+
+
+def check_unique_events(goal: Goal) -> None:
+    """Raise :class:`~repro.errors.UniqueEventError` unless ``goal`` is unique-event."""
+    _occ(goal)
+
+
+def is_unique_event_goal(goal: Goal) -> bool:
+    """Boolean form of :func:`check_unique_events`."""
+    try:
+        _occ(goal)
+    except UniqueEventError:
+        return False
+    return True

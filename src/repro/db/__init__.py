@@ -1,0 +1,27 @@
+"""Database substrate: states, the transition oracle, and the event log.
+
+Implements the state machinery CTR is interpreted over (Section 2 of the
+paper): relational database states (:mod:`~repro.db.state`), elementary
+updates via the transition oracle (:mod:`~repro.db.oracle`), and the
+significant-event log of assumption (2) (:mod:`~repro.db.log`).
+"""
+
+from .log import EventLog, EventRecord
+from .oracle import TransitionOracle, assign_op, choice_op, delete_op, insert_op
+from .query import Query, V, Var, condition_from_query
+from .state import Database
+
+__all__ = [
+    "Database",
+    "EventLog",
+    "EventRecord",
+    "TransitionOracle",
+    "insert_op",
+    "delete_op",
+    "assign_op",
+    "choice_op",
+    "Query",
+    "Var",
+    "V",
+    "condition_from_query",
+]

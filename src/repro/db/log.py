@@ -1,0 +1,54 @@
+"""The significant-event log (assumption (2) of the paper).
+
+"Typically, a significant event amounts to nothing more than forcing a
+suitable record into the system log." This module is that log: an
+append-only sequence of event records with snapshot/restore support so the
+engine's failure atomicity can roll it back together with the data state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["EventRecord", "EventLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One logged significant event."""
+
+    sequence: int
+    event: str
+    payload: Any = None
+
+
+class EventLog:
+    """Append-only event log."""
+
+    def __init__(self) -> None:
+        self._records: list[EventRecord] = []
+
+    def append(self, event: str, payload: Any = None) -> EventRecord:
+        record = EventRecord(sequence=len(self._records), event=event, payload=payload)
+        self._records.append(record)
+        return record
+
+    def events(self) -> tuple[str, ...]:
+        """The logged event names, in order — the execution's trace."""
+        return tuple(r.event for r in self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def occurred(self, event: str) -> bool:
+        return any(r.event == event for r in self._records)
+
+    def snapshot(self) -> tuple[EventRecord, ...]:
+        return tuple(self._records)
+
+    def restore(self, snap: tuple[EventRecord, ...]) -> None:
+        self._records = list(snap)

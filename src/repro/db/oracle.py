@@ -1,0 +1,146 @@
+"""The transition oracle: elementary updates as state transitions.
+
+In CTR, elementary updates are atomic formulas whose truth is decided by a
+*transition oracle*: an update ``u`` is true exactly over the arcs
+``⟨s₁, s₂⟩`` such that executing ``u`` in state ``s₁`` can yield state
+``s₂`` (Section 2). The oracle is deliberately open-ended — "from simple
+tuple insertions and deletions, to relational assignments, to updates
+performed by legacy programs".
+
+:class:`TransitionOracle` realises this as a registry mapping update names
+to Python callables. An update receives the current :class:`Database` and
+either mutates it (deterministic update) or returns a list of candidate
+successor databases (non-deterministic update — "any one of a number of
+alternative state transitions might be possible"). Raising
+:class:`~repro.errors.DatabaseError` models an update that is inapplicable
+in the current state.
+
+Unregistered names behave per assumption (2): a significant event applies
+in every state and merely appends a record to the log.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..errors import DatabaseError
+from .state import Database
+
+__all__ = ["TransitionOracle", "insert_op", "delete_op", "assign_op", "choice_op"]
+
+# A deterministic update mutates the db in place and returns None; a
+# non-deterministic one returns candidate successor databases.
+UpdateFn = Callable[[Database], None | Sequence[Database]]
+
+
+class TransitionOracle:
+    """Registry of elementary updates, with an execution helper.
+
+    >>> oracle = TransitionOracle()
+    >>> oracle.register("reserve", insert_op("reservation", "seat-1"))
+    >>> db = Database()
+    >>> oracle.execute("reserve", db)
+    >>> db.contains("reservation", "seat-1")
+    True
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._updates: dict[str, UpdateFn] = {}
+        self._rng = random.Random(seed)
+
+    def register(self, name: str, update: UpdateFn) -> None:
+        self._updates[name] = update
+
+    def knows(self, name: str) -> bool:
+        return name in self._updates
+
+    def execute(self, name: str, db: Database) -> None:
+        """Run the update ``name`` against ``db`` and log the event.
+
+        Non-deterministic updates have one candidate successor chosen by the
+        oracle's seeded RNG (the CTR semantics allows any of them).
+        """
+        update = self._updates.get(name)
+        if update is not None:
+            candidates = update(db)
+            if candidates is not None:
+                if not candidates:
+                    raise DatabaseError(f"update {name!r} is inapplicable in this state")
+                chosen = self._rng.choice(list(candidates))
+                db.restore(chosen.snapshot())
+        # Assumption (2): every significant event forces a log record.
+        db.log.append(name)
+
+    def successors(self, name: str, db: Database) -> list[Database]:
+        """All successor states of applying ``name`` to ``db`` (model theory).
+
+        Used by tests and by exhaustive analyses; the run-time
+        :meth:`execute` commits to a single successor instead.
+        """
+        update = self._updates.get(name)
+        base = db.copy()
+        if update is None:
+            base.log.append(name)
+            return [base]
+        candidates = update(base)
+        if candidates is None:
+            base.log.append(name)
+            return [base]
+        out = []
+        for candidate in candidates:
+            clone = candidate.copy()
+            clone.log.append(name)
+            out.append(clone)
+        return out
+
+
+def insert_op(relation: str, *values) -> UpdateFn:
+    """An elementary update inserting one tuple (applies in every state)."""
+
+    def update(db: Database) -> None:
+        db.insert(relation, *values)
+
+    return update
+
+
+def delete_op(relation: str, *values, strict: bool = False) -> UpdateFn:
+    """An elementary update deleting one tuple.
+
+    With ``strict=True`` the update is inapplicable when the tuple is
+    absent (the paper's first kind of delete); otherwise it always applies.
+    """
+
+    def update(db: Database) -> None:
+        if strict:
+            db.delete_strict(relation, *values)
+        else:
+            db.delete(relation, *values)
+
+    return update
+
+
+def assign_op(relation: str, tuples: list[tuple]) -> UpdateFn:
+    """An elementary update performing relational assignment."""
+
+    def update(db: Database) -> None:
+        db.assign(relation, tuples)
+
+    return update
+
+
+def choice_op(*alternatives: UpdateFn) -> UpdateFn:
+    """A non-deterministic update: any one of ``alternatives`` may happen."""
+
+    def update(db: Database) -> Sequence[Database]:
+        out = []
+        for alternative in alternatives:
+            clone = db.copy()
+            result = alternative(clone)
+            if result is None:
+                out.append(clone)
+            else:
+                out.extend(result)
+        return out
+
+    return update

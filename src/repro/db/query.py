@@ -1,0 +1,161 @@
+"""Declarative conjunctive queries over database states.
+
+Transition conditions in the paper "apply to the current state of the
+workflow (which, in a broad sense, may include the current state of the
+underlying database…)". Rather than forcing users to write Python lambdas
+for every condition, this module provides a small Datalog-style query
+language — conjunctions of relation patterns with shared variables and
+safe negation — that compiles to the predicate callables the engine's
+:class:`~repro.ctr.formulas.Test` nodes expect::
+
+    stock_low = Query.where(("stock", V.item, "low"))
+    goal = check >> (Test("low", stock_low.predicate()) >> reorder + ...)
+
+Evaluation is a straightforward nested-loop join, which is plenty for
+workflow-sized states and keeps the semantics obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..ctr.formulas import Test
+from ..errors import SpecificationError
+from .state import Database
+
+__all__ = ["Var", "V", "Query", "condition_from_query"]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable; equal occurrences join."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+class _VarFactory:
+    """Attribute-style variable construction: ``V.item`` == ``Var("item")``."""
+
+    def __getattr__(self, name: str) -> Var:
+        return Var(name)
+
+
+V = _VarFactory()
+
+Pattern = tuple  # (relation, component, component, ...) with Vars or constants
+Binding = dict[Var, Any]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive query with optional safe negation.
+
+    ``positive`` patterns must all match (joining on shared variables);
+    ``negative`` patterns must match *no* tuple under the produced
+    binding. Every variable in a negative pattern must also occur
+    positively (safety), checked at construction.
+    """
+
+    positive: tuple[Pattern, ...]
+    negative: tuple[Pattern, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.positive and self.negative:
+            raise SpecificationError("negation requires at least one positive pattern")
+        bound = {c for p in self.positive for c in p[1:] if isinstance(c, Var)}
+        for pattern in self.negative:
+            loose = [c for c in pattern[1:] if isinstance(c, Var) and c not in bound]
+            if loose:
+                raise SpecificationError(
+                    f"unsafe negation: variables {loose} are not bound positively"
+                )
+        for pattern in self.positive + self.negative:
+            if not pattern or not isinstance(pattern[0], str):
+                raise SpecificationError("a pattern starts with its relation name")
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def where(cls, *patterns: Pattern) -> "Query":
+        """Conjunction of positive patterns."""
+        return cls(tuple(patterns))
+
+    def unless(self, *patterns: Pattern) -> "Query":
+        """Add safely-negated patterns."""
+        return Query(self.positive, self.negative + tuple(patterns))
+
+    # -- evaluation --------------------------------------------------------------
+
+    def bindings(self, db: Database) -> list[Binding]:
+        """All variable bindings satisfying the query in ``db``."""
+        results = [b for b in self._join(db, self.positive, {})]
+        if not self.negative:
+            return results
+        return [b for b in results if not self._violates_negation(db, b)]
+
+    def holds(self, db: Database) -> bool:
+        """Is the query satisfiable in ``db``? (an empty query is vacuously true)"""
+        if not self.positive:
+            return True
+        for binding in self._join(db, self.positive, {}):
+            if not self._violates_negation(db, binding):
+                return True
+        return False
+
+    def predicate(self) -> Callable[[Database], bool]:
+        """A predicate suitable for a :class:`~repro.ctr.formulas.Test` node."""
+        return self.holds
+
+    def negated_predicate(self) -> Callable[[Database], bool]:
+        """The complement predicate (for the 'else' branch of a condition)."""
+        return lambda db: not self.holds(db)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _join(
+        self, db: Database, patterns: tuple[Pattern, ...], binding: Binding
+    ) -> Iterator[Binding]:
+        if not patterns:
+            yield dict(binding)
+            return
+        head, rest = patterns[0], patterns[1:]
+        relation, components = head[0], head[1:]
+        for row in db.query(relation):
+            if len(row) != len(components):
+                continue
+            extended = self._match(components, row, binding)
+            if extended is not None:
+                yield from self._join(db, rest, extended)
+
+    @staticmethod
+    def _match(components: tuple, row: tuple, binding: Binding) -> Binding | None:
+        extended = dict(binding)
+        for component, value in zip(components, row):
+            if isinstance(component, Var):
+                if component in extended:
+                    if extended[component] != value:
+                        return None
+                else:
+                    extended[component] = value
+            elif component != value:
+                return None
+        return extended
+
+    def _violates_negation(self, db: Database, binding: Binding) -> bool:
+        for pattern in self.negative:
+            relation, components = pattern[0], pattern[1:]
+            grounded = tuple(
+                binding[c] if isinstance(c, Var) else c for c in components
+            )
+            if db.contains(relation, *grounded):
+                return True
+        return False
+
+
+def condition_from_query(name: str, query: Query) -> Test:
+    """A named transition condition backed by a declarative query."""
+    return Test(name, query.predicate())

@@ -1,0 +1,118 @@
+"""In-memory relational database states.
+
+CTR's model theory is built over a set of database *states*; for this
+library (as the paper suggests) states are plain relational databases. A
+:class:`Database` holds named relations of tuples and supports the
+elementary operations the transition oracle is built from — insert,
+delete, relational assignment — plus simple conjunctive pattern queries,
+snapshots (for failure atomicity and ``◇`` tests), and the significant-
+event log of assumption (2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import DatabaseError
+from .log import EventLog
+
+__all__ = ["Database"]
+
+Tuple_ = tuple[Any, ...]
+
+
+class Database:
+    """A mutable relational state with snapshot/restore support.
+
+    >>> db = Database()
+    >>> db.insert("flight", "JFK", "CDG")
+    >>> db.query("flight", None, "CDG")
+    [('JFK', 'CDG')]
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, set[Tuple_]] = {}
+        self.log = EventLog()
+
+    # -- elementary updates ----------------------------------------------------
+
+    def insert(self, relation: str, *values: Any) -> None:
+        """Insert a tuple (idempotent, set semantics)."""
+        self._relations.setdefault(relation, set()).add(tuple(values))
+
+    def delete(self, relation: str, *values: Any) -> None:
+        """Delete a tuple if present (unconditional delete: always succeeds,
+        leaving the state unchanged when the tuple is absent — the second
+        kind of elementary update discussed in Section 2)."""
+        self._relations.get(relation, set()).discard(tuple(values))
+
+    def delete_strict(self, relation: str, *values: Any) -> None:
+        """Delete a tuple, failing when it is absent (the first kind of
+        elementary update: inapplicable in states lacking the tuple)."""
+        rel = self._relations.get(relation, set())
+        t = tuple(values)
+        if t not in rel:
+            raise DatabaseError(f"cannot delete {t!r} from {relation!r}: not present")
+        rel.discard(t)
+
+    def assign(self, relation: str, tuples: Iterator[Tuple_] | list[Tuple_]) -> None:
+        """Relational assignment: replace the relation's contents wholesale."""
+        self._relations[relation] = {tuple(t) for t in tuples}
+
+    # -- queries ----------------------------------------------------------------
+
+    def contains(self, relation: str, *values: Any) -> bool:
+        return tuple(values) in self._relations.get(relation, set())
+
+    def query(self, relation: str, *pattern: Any) -> list[Tuple_]:
+        """Tuples matching ``pattern``; ``None`` components are wildcards."""
+        rows = self._relations.get(relation, set())
+        if not pattern:
+            return sorted(rows)
+        out = []
+        for row in rows:
+            if len(row) != len(pattern):
+                continue
+            if all(p is None or p == v for p, v in zip(pattern, row)):
+                out.append(row)
+        return sorted(out)
+
+    def relation(self, name: str) -> frozenset[Tuple_]:
+        return frozenset(self._relations.get(name, set()))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(name for name, rows in self._relations.items() if rows)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, frozenset[Tuple_]]:
+        """An immutable copy of the current state (log position included)."""
+        snap = {name: frozenset(rows) for name, rows in self._relations.items() if rows}
+        snap["__log__"] = self.log.snapshot()  # type: ignore[assignment]
+        return snap
+
+    def restore(self, snap: dict[str, frozenset[Tuple_]]) -> None:
+        """Roll back to a snapshot taken earlier (failure atomicity)."""
+        log_snap = snap["__log__"]
+        self._relations = {
+            name: set(rows) for name, rows in snap.items() if name != "__log__"
+        }
+        self.log.restore(log_snap)  # type: ignore[arg-type]
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone.restore(self.snapshot())
+        return clone
+
+    # -- equality (state identity for the semantics) -------------------------------
+
+    def same_state(self, other: "Database") -> bool:
+        """State equality ignoring the event log."""
+        mine = {n: r for n, r in self._relations.items() if r}
+        theirs = {n: r for n, r in other._relations.items() if r}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{n}({len(r)})" for n, r in sorted(self._relations.items()) if r)
+        return f"<Database {parts or 'empty'}>"

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the workflow-logic library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. The subclasses mirror the phases of
+the pipeline: specification problems (malformed formulas or constraints),
+compilation problems (Apply/Excise), and run-time problems (scheduling and
+activity execution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SpecificationError(ReproError):
+    """A workflow specification (goal, graph, or rule base) is malformed."""
+
+
+class UniqueEventError(SpecificationError):
+    """A goal violates the unique-event property (Definition 3.1).
+
+    The offending event name is stored in :attr:`event`.
+    """
+
+    def __init__(self, event: str, message: str | None = None):
+        self.event = event
+        super().__init__(message or f"event {event!r} may occur more than once in an execution")
+
+
+class RecursionError_(SpecificationError):
+    """A rule base defines a workflow recursively.
+
+    The paper restricts itself to non-iterative workflows (Section 2), so
+    recursive concurrent-Horn rules are rejected. Named with a trailing
+    underscore to avoid shadowing the builtin ``RecursionError``.
+    """
+
+    def __init__(self, cycle: tuple[str, ...]):
+        self.cycle = cycle
+        super().__init__("recursive sub-workflow definition: " + " -> ".join(cycle))
+
+
+class ConstraintError(SpecificationError):
+    """A temporal constraint is outside the CONSTR algebra (Definition 3.2)."""
+
+
+class ParseError(SpecificationError):
+    """The textual formula/constraint syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CompilationError(ReproError):
+    """The Apply/Excise pipeline failed for a reason other than inconsistency."""
+
+
+class InconsistentWorkflowError(CompilationError):
+    """The workflow specification G ∧ C has no legal execution (Theorem 5.8).
+
+    Carries the smallest inconsistent sub-specification found, when
+    available, as :attr:`culprit` (mirrors the paper's G_fail feedback).
+    """
+
+    def __init__(self, message: str = "workflow is inconsistent with its constraints",
+                 culprit=None):
+        self.culprit = culprit
+        super().__init__(message)
+
+
+class SchedulingError(ReproError):
+    """The scheduler was driven into an impossible position."""
+
+
+class IneligibleEventError(SchedulingError):
+    """An event was fired that is not currently eligible."""
+
+    def __init__(self, event: str, eligible: frozenset[str]):
+        self.event = event
+        self.eligible = eligible
+        shown = ", ".join(sorted(eligible)) or "<none>"
+        super().__init__(f"event {event!r} is not eligible; eligible events: {shown}")
+
+
+class ExecutionError(ReproError):
+    """An activity failed at run time inside the workflow engine."""
+
+    def __init__(self, activity: str, cause: BaseException):
+        self.activity = activity
+        self.cause = cause
+        super().__init__(f"activity {activity!r} failed: {cause}")
+
+
+class DatabaseError(ReproError):
+    """An elementary update or query was invalid for the current state."""

@@ -1,0 +1,39 @@
+"""Control flow graphs, triggers, and workload generators.
+
+The paper's three specification frameworks (Figure 1) meet here: control
+flow graphs (:mod:`~repro.graph.cfg`) are translated into concurrent-Horn
+goals (:mod:`~repro.graph.translate`, the paper's formula (1)); triggers
+are compiled into the control flow (:mod:`~repro.graph.triggers`); and
+temporal constraints join via :mod:`repro.core.apply`. Synthetic workload
+generators for the benchmark harness live in
+:mod:`~repro.graph.generators`.
+"""
+
+from .cfg import AND, OR, Arc, ControlFlowGraph
+from .dot import cfg_to_dot, goal_to_dot
+from .generators import (
+    or_tree,
+    parallel_chains,
+    random_constraints,
+    random_goal,
+    serial_chain,
+)
+from .translate import to_goal
+from .triggers import Trigger, apply_triggers
+
+__all__ = [
+    "ControlFlowGraph",
+    "Arc",
+    "AND",
+    "OR",
+    "to_goal",
+    "cfg_to_dot",
+    "goal_to_dot",
+    "Trigger",
+    "apply_triggers",
+    "serial_chain",
+    "parallel_chains",
+    "or_tree",
+    "random_goal",
+    "random_constraints",
+]

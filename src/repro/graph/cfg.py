@@ -1,0 +1,146 @@
+"""Control flow graphs — the primary specification means of commercial WFMSs.
+
+A :class:`ControlFlowGraph` is the left-hand formalism of the paper's
+Figure 1: activities as nodes, arcs for local execution dependencies, a
+*split type* per branching node — ``"and"`` (all successor branches execute
+concurrently) or ``"or"`` (exactly one branch executes, chosen
+non-deterministically) — and optional *transition conditions* on arcs,
+evaluated against the current workflow state.
+
+The graph must be two-terminal series-parallel (one initial activity, one
+final activity, well-nested splits/joins); that is the class of graphs the
+paper's concurrent-Horn encoding (1) captures, and
+:func:`repro.graph.translate.to_goal` performs the encoding by
+series-parallel reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..errors import SpecificationError
+
+__all__ = ["Arc", "ControlFlowGraph", "AND", "OR"]
+
+AND = "and"
+OR = "or"
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A control-flow arc, optionally guarded by a transition condition."""
+
+    source: str
+    target: str
+    condition: Optional[str] = None
+    predicate: Optional[Callable] = field(default=None, compare=False, hash=False)
+
+
+class ControlFlowGraph:
+    """A workflow control flow graph with AND/OR splits.
+
+    >>> g = ControlFlowGraph()
+    >>> g.add_arc("a", "b"); g.add_arc("a", "c"); g.add_arc("b", "d"); g.add_arc("c", "d")
+    >>> g.set_split("a", "and")   # b and c run concurrently
+    >>> g.initial, g.final
+    ('a', 'd')
+    """
+
+    def __init__(self) -> None:
+        self._activities: set[str] = set()
+        self._arcs: list[Arc] = []
+        self._splits: dict[str, str] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_activity(self, name: str) -> None:
+        if not name:
+            raise SpecificationError("activity name must be non-empty")
+        self._activities.add(name)
+
+    def add_arc(
+        self,
+        source: str,
+        target: str,
+        condition: str | None = None,
+        predicate: Callable | None = None,
+    ) -> None:
+        """Add an arc; endpoints are registered as activities automatically."""
+        if source == target:
+            raise SpecificationError(f"self-loop on {source!r}: loops are not supported")
+        self.add_activity(source)
+        self.add_activity(target)
+        self._arcs.append(Arc(source, target, condition, predicate))
+
+    def set_split(self, activity: str, kind: str) -> None:
+        """Declare how a branching activity's successors combine."""
+        if kind not in (AND, OR):
+            raise SpecificationError(f"split kind must be 'and' or 'or', not {kind!r}")
+        self.add_activity(activity)
+        self._splits[activity] = kind
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def activities(self) -> frozenset[str]:
+        return frozenset(self._activities)
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        return tuple(self._arcs)
+
+    def split_of(self, activity: str) -> str:
+        """The split type at ``activity`` (defaults to AND, like most WFMSs)."""
+        return self._splits.get(activity, AND)
+
+    def successors(self, activity: str) -> list[Arc]:
+        return [a for a in self._arcs if a.source == activity]
+
+    def predecessors(self, activity: str) -> list[Arc]:
+        return [a for a in self._arcs if a.target == activity]
+
+    @property
+    def initial(self) -> str:
+        """The unique activity with no incoming arcs."""
+        candidates = sorted(
+            n for n in self._activities if not self.predecessors(n)
+        )
+        if len(candidates) != 1:
+            raise SpecificationError(
+                f"workflow must have exactly one initial activity, found {candidates}"
+            )
+        return candidates[0]
+
+    @property
+    def final(self) -> str:
+        """The unique activity with no outgoing arcs."""
+        candidates = sorted(n for n in self._activities if not self.successors(n))
+        if len(candidates) != 1:
+            raise SpecificationError(
+                f"workflow must have exactly one final activity, found {candidates}"
+            )
+        return candidates[0]
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_acyclic(self) -> None:
+        """Reject cyclic graphs (Section 7: loops need recursive rules)."""
+        indegree = {n: len(self.predecessors(n)) for n in self._activities}
+        queue = [n for n, d in indegree.items() if d == 0]
+        visited = 0
+        while queue:
+            node = queue.pop()
+            visited += 1
+            for arc in self.successors(node):
+                indegree[arc.target] -= 1
+                if indegree[arc.target] == 0:
+                    queue.append(arc.target)
+        if visited != len(self._activities):
+            raise SpecificationError("control flow graph contains a cycle")
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ControlFlowGraph {len(self._activities)} activities, {len(self._arcs)} arcs>"

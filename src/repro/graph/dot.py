@@ -1,0 +1,120 @@
+"""Graphviz DOT export for control flow graphs and CTR goals.
+
+Workflow tooling lives and dies by visualisation. Two renderers:
+
+* :func:`cfg_to_dot` — the control flow graph as drawn in the paper's
+  Figure 1: activities as boxes, AND/OR split annotations, transition
+  conditions as edge labels;
+* :func:`goal_to_dot` — the goal AST as an operator tree (useful for
+  inspecting what Apply/Excise produced, ``send``/``receive`` pairs are
+  linked with dashed synchronisation edges).
+
+The output is plain DOT text; render it with ``dot -Tsvg`` or any
+Graphviz-compatible viewer. No Graphviz dependency is needed to *produce*
+the files, so these helpers are always available.
+"""
+
+from __future__ import annotations
+
+from ..ctr.formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Empty,
+    Goal,
+    NegPath,
+    Path,
+    Receive,
+    Send,
+    Serial,
+    Test,
+)
+from .cfg import AND, ControlFlowGraph
+
+__all__ = ["cfg_to_dot", "goal_to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def cfg_to_dot(graph: ControlFlowGraph, title: str = "workflow") -> str:
+    """Render a control flow graph in the style of the paper's Figure 1."""
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=box, style=rounded, fontname=Helvetica];")
+    for activity in sorted(graph.activities):
+        label = activity
+        if len(graph.successors(activity)) > 1:
+            kind = "AND" if graph.split_of(activity) == AND else "OR"
+            label = f"{activity}\\n[{kind}]"
+        lines.append(f"  {_quote(activity)} [label={_quote(label)}];")
+    for arc in graph.arcs:
+        attributes = ""
+        if arc.condition is not None:
+            attributes = f" [label={_quote(arc.condition)}, fontsize=10]"
+        lines.append(f"  {_quote(arc.source)} -> {_quote(arc.target)}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_NODE_STYLE = {
+    "Serial": ("⊗", "ellipse"),
+    "Concurrent": ("∥", "ellipse"),
+    "Choice": ("∨", "diamond"),
+    "Isolated": ("⊙", "ellipse"),
+    "Possibility": ("◇", "ellipse"),
+}
+
+
+def goal_to_dot(goal: Goal, title: str = "goal") -> str:
+    """Render a goal AST, linking send/receive pairs with dashed edges."""
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  node [fontname=Helvetica];")
+    counter = [0]
+    sends: dict[str, str] = {}
+    receives: dict[str, list[str]] = {}
+
+    def emit(node: Goal) -> str:
+        counter[0] += 1
+        node_id = f"n{counter[0]}"
+        if isinstance(node, Atom):
+            lines.append(f"  {node_id} [shape=box, style=rounded, label={_quote(node.name)}];")
+        elif isinstance(node, Send):
+            lines.append(f"  {node_id} [shape=cds, label={_quote('send ' + node.token)}];")
+            sends[node.token] = node_id
+        elif isinstance(node, Receive):
+            lines.append(f"  {node_id} [shape=cds, label={_quote('recv ' + node.token)}];")
+            receives.setdefault(node.token, []).append(node_id)
+        elif isinstance(node, Test):
+            lines.append(f"  {node_id} [shape=hexagon, label={_quote(node.name + '?')}];")
+        elif isinstance(node, Empty):
+            lines.append(f"  {node_id} [shape=point];")
+        elif isinstance(node, (Path, NegPath)):
+            label = "path" if isinstance(node, Path) else "¬path"
+            lines.append(f"  {node_id} [shape=plaintext, label={_quote(label)}];")
+        else:
+            symbol, shape = _NODE_STYLE[type(node).__name__]
+            lines.append(f"  {node_id} [shape={shape}, label={_quote(symbol)}];")
+            children = (
+                node.parts
+                if isinstance(node, (Serial, Concurrent, Choice))
+                else (node.body,)
+            )
+            for index, child in enumerate(children):
+                child_id = emit(child)
+                edge_attr = ""
+                if isinstance(node, Serial):
+                    edge_attr = f" [label={_quote(str(index + 1))}, fontsize=9]"
+                lines.append(f"  {node_id} -> {child_id}{edge_attr};")
+        return node_id
+
+    emit(goal)
+    for token, send_id in sends.items():
+        for receive_id in receives.get(token, ()):
+            lines.append(
+                f"  {send_id} -> {receive_id} "
+                f"[style=dashed, color=gray, constraint=false];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Translating control flow graphs into concurrent-Horn goals (eq. (1)).
+
+The encoding follows the paper's example: serial arcs become ``⊗``,
+AND-splits become ``|``, OR-splits become ``∨``, and transition conditions
+become :class:`~repro.ctr.formulas.Test` steps on the connecting arc.
+
+The algorithm is classical two-terminal **series-parallel reduction** over
+an edge-labelled multigraph:
+
+1. split every activity node ``n`` into ``n_in → n_out`` with the edge
+   labelled ``Atom(n)``; every workflow arc ``(u, v)`` becomes an edge
+   ``u_out → v_in`` labelled with its transition condition (or the empty
+   goal);
+2. repeatedly apply
+   * *series reduction* — an interior node with exactly one in-edge and
+     one out-edge is removed, concatenating the labels with ``⊗``;
+   * *parallel reduction* — two edges with the same endpoints merge, the
+     labels combined with ``|`` or ``∨`` according to the split type of
+     the activity where the branch opened;
+3. if reduction terminates with the single edge ``initial_in → final_out``
+   its label is the translation; otherwise the graph is not
+   series-parallel and is rejected (such graphs are outside the class the
+   paper's formula (1) represents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ctr.formulas import EMPTY, Atom, Goal, Test, alt, par, seq
+from ..errors import SpecificationError
+from .cfg import AND, ControlFlowGraph
+
+__all__ = ["to_goal"]
+
+
+@dataclass
+class _Edge:
+    source: str
+    target: str
+    goal: Goal
+    # The activity whose split opened this branch; drives the parallel-merge
+    # connective. Starts as the source activity of the underlying arc.
+    branch_origin: str
+
+
+def to_goal(graph: ControlFlowGraph) -> Goal:
+    """The concurrent-Horn goal encoding of ``graph`` (the paper's formula (1))."""
+    graph.check_acyclic()
+    initial, final = graph.initial, graph.final
+
+    edges: list[_Edge] = []
+    # Sorted for deterministic output (graph.activities is a set).
+    for activity in sorted(graph.activities):
+        edges.append(_Edge(f"{activity}.in", f"{activity}.out", Atom(activity), activity))
+    for arc in graph.arcs:
+        label: Goal = EMPTY
+        if arc.condition is not None:
+            label = Test(arc.condition, arc.predicate)
+        edges.append(_Edge(f"{arc.source}.out", f"{arc.target}.in", label, arc.source))
+
+    source, sink = f"{initial}.in", f"{final}.out"
+    changed = True
+    while changed and len(edges) > 1:
+        changed = _series_step(edges, source, sink) or _parallel_step(edges, graph)
+
+    if len(edges) != 1 or edges[0].source != source or edges[0].target != sink:
+        raise SpecificationError(
+            "control flow graph is not two-terminal series-parallel; "
+            "it cannot be encoded as a concurrent-Horn goal"
+        )
+    return edges[0].goal
+
+
+def _series_step(edges: list[_Edge], source: str, sink: str) -> bool:
+    incoming: dict[str, list[int]] = {}
+    outgoing: dict[str, list[int]] = {}
+    for index, edge in enumerate(edges):
+        incoming.setdefault(edge.target, []).append(index)
+        outgoing.setdefault(edge.source, []).append(index)
+
+    # Sorted for deterministic reduction order across interpreter runs.
+    for node in sorted(set(incoming) & set(outgoing)):
+        if node in (source, sink):
+            continue
+        if len(incoming[node]) == 1 and len(outgoing[node]) == 1:
+            i, j = incoming[node][0], outgoing[node][0]
+            first, second = edges[i], edges[j]
+            merged = _Edge(
+                first.source,
+                second.target,
+                seq(first.goal, second.goal),
+                first.branch_origin,
+            )
+            for index in sorted((i, j), reverse=True):
+                del edges[index]
+            edges.append(merged)
+            return True
+    return False
+
+
+def _parallel_step(edges: list[_Edge], graph: ControlFlowGraph) -> bool:
+    by_endpoints: dict[tuple[str, str], list[int]] = {}
+    for index, edge in enumerate(edges):
+        by_endpoints.setdefault((edge.source, edge.target), []).append(index)
+
+    for (src, dst), indices in by_endpoints.items():
+        if len(indices) < 2:
+            continue
+        group = [edges[i] for i in indices]
+        # The split that opened these parallel branches is the activity at
+        # the tail of the bundle: src is "<activity>.out".
+        activity = src.removesuffix(".out")
+        combine = par if graph.split_of(activity) == AND else alt
+        merged = _Edge(src, dst, combine(*(e.goal for e in group)), group[0].branch_origin)
+        for index in sorted(indices, reverse=True):
+            del edges[index]
+        edges.append(merged)
+        return True
+    return False

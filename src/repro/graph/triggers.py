@@ -1,0 +1,93 @@
+"""Triggers (event-condition-action rules) compiled into the control flow.
+
+Section 1 of the paper treats triggers as the third popular specification
+framework and notes (citing [7]) that triggers with *immediate* execution
+semantics "can be represented using control flow graphs", so they may be
+treated as part of the graph. This module performs that compilation at the
+goal level: a trigger ``on event e, if cond, do action`` rewrites every
+occurrence of ``e`` into
+
+    e ⊗ ( cond? ⊗ action  ∨  ¬cond? )
+
+i.e. immediately after ``e`` fires, the condition is tested and the action
+runs if it holds. An unconditional trigger simply appends its action.
+
+Triggers may cascade (an action contains an event another trigger fires
+on); cascades are expanded transitively and cyclic cascades are rejected,
+in keeping with the paper's restriction to non-iterative workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ctr.formulas import (
+    Atom,
+    Choice,
+    Concurrent,
+    Goal,
+    Isolated,
+    Possibility,
+    Serial,
+    Test,
+    alt,
+    par,
+    seq,
+)
+from ..errors import RecursionError_
+
+__all__ = ["Trigger", "apply_triggers"]
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """An ECA rule with immediate execution semantics."""
+
+    event: str
+    action: Goal
+    condition: Optional[str] = None
+    predicate: Optional[Callable] = None
+
+    def guarded_action(self) -> Goal:
+        """``cond? ⊗ action ∨ ¬cond?`` (or just the action when unguarded)."""
+        if self.condition is None:
+            return self.action
+        holds = Test(self.condition, self.predicate)
+        negated = None
+        if self.predicate is not None:
+            predicate = self.predicate
+            negated = lambda *args: not predicate(*args)  # noqa: E731
+        fails = Test(f"not_{self.condition}", negated)
+        return alt(seq(holds, self.action), fails)
+
+
+def apply_triggers(goal: Goal, triggers: list[Trigger]) -> Goal:
+    """Compile ``triggers`` into ``goal`` (immediate execution semantics)."""
+    by_event: dict[str, list[Trigger]] = {}
+    for trigger in triggers:
+        by_event.setdefault(trigger.event, []).append(trigger)
+
+    def rewrite(node: Goal, firing: tuple[str, ...]) -> Goal:
+        if isinstance(node, Atom):
+            relevant = by_event.get(node.name, ())
+            if not relevant:
+                return node
+            if node.name in firing:
+                raise RecursionError_(firing + (node.name,))
+            chain = firing + (node.name,)
+            reactions = [rewrite(t.guarded_action(), chain) for t in relevant]
+            return seq(node, *reactions)
+        if isinstance(node, Serial):
+            return seq(*(rewrite(p, firing) for p in node.parts))
+        if isinstance(node, Concurrent):
+            return par(*(rewrite(p, firing) for p in node.parts))
+        if isinstance(node, Choice):
+            return alt(*(rewrite(p, firing) for p in node.parts))
+        if isinstance(node, Isolated):
+            return Isolated(rewrite(node.body, firing))
+        if isinstance(node, Possibility):
+            return Possibility(rewrite(node.body, firing))
+        return node
+
+    return rewrite(goal, ())

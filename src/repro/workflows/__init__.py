@@ -1,0 +1,55 @@
+"""Ready-made workflow specifications used by the examples, tests, and benches."""
+
+from .claims import claims_constraints, claims_goal, claims_specification
+from .figure1 import example_5_7, figure1_constraints, figure1_goal, figure1_graph
+from .patterns import (
+    deferred_choice,
+    exclusive_choice,
+    interleaved_routing,
+    milestone,
+    multi_choice,
+    parallel_split,
+    sequence,
+)
+from .release import release_constraints, release_goal, release_specification
+from .orders import (
+    INVENTORY,
+    PAYMENT,
+    SHIPPING,
+    orders_constraints,
+    orders_goal,
+    orders_specification,
+    restock_trigger,
+)
+from .registration import (
+    registration_constraints,
+    registration_goal,
+    registration_rules,
+    registration_specification,
+)
+from .trip import trip_constraints, trip_goal, trip_specification
+
+__all__ = [
+    "figure1_graph",
+    "figure1_goal",
+    "figure1_constraints",
+    "example_5_7",
+    "trip_goal",
+    "trip_constraints",
+    "trip_specification",
+    "orders_goal",
+    "orders_constraints",
+    "orders_specification",
+    "restock_trigger",
+    "PAYMENT",
+    "INVENTORY",
+    "SHIPPING",
+    "registration_goal",
+    "registration_constraints",
+    "registration_rules",
+    "registration_specification",
+    "claims_goal", "claims_constraints", "claims_specification",
+    "release_goal", "release_constraints", "release_specification",
+    "sequence", "parallel_split", "exclusive_choice", "multi_choice",
+    "interleaved_routing", "deferred_choice", "milestone",
+]

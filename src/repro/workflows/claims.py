@@ -1,0 +1,66 @@
+"""Insurance claim handling — a classic workflow-management case study.
+
+A filed claim is registered, then assessed along two concurrent tracks —
+policy verification and damage appraisal (with an optional on-site
+inspection for large damages) — after which the claim is either settled
+(payment in an isolated block) or denied (with a mandatory denial letter,
+and an optional appeal that reopens a senior review).
+
+The constraint set encodes the business rules auditors actually care
+about, several of which span concurrent branches and are inexpressible in
+the control flow alone:
+
+* four-eyes rule: a settlement needs the appraisal *and* the policy check
+  before the payout authorization;
+* fraud hold: if the fraud flag was raised, no payment may ever happen;
+* appeals only after denials, and a senior review whenever there is an
+  appeal;
+* inspections require an appraisal to have started first.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint, absent, disj, order
+from ..constraints.klein import causes, mutually_exclusive, requires_prior
+from ..ctr.formulas import Goal, Isolated, atoms
+
+__all__ = ["claims_goal", "claims_constraints", "claims_specification"]
+
+
+def claims_goal() -> Goal:
+    """The claim-handling control flow."""
+    (register, verify_policy, appraise, inspect_site, skip_inspection,
+     flag_fraud, clear_claim, authorize_payment, transfer_funds,
+     deny, send_denial_letter, appeal, senior_review, close) = atoms(
+        "register verify_policy appraise inspect_site skip_inspection "
+        "flag_fraud clear_claim authorize_payment transfer_funds "
+        "deny send_denial_letter appeal senior_review close"
+    )
+    appraisal_track = appraise >> (inspect_site + skip_inspection)
+    screening = flag_fraud + clear_claim
+    assessment = verify_policy | appraisal_track | screening
+    settle = Isolated(authorize_payment >> transfer_funds)
+    denial = deny >> send_denial_letter >> ((appeal >> senior_review) + close)
+    return register >> assessment >> (settle + denial)
+
+
+def claims_constraints() -> list[Constraint]:
+    """The audit rules."""
+    return [
+        # Four-eyes: both assessment tracks complete before authorization.
+        requires_prior("authorize_payment", "verify_policy"),
+        requires_prior("authorize_payment", "appraise"),
+        # Fraud hold: a flagged claim is never paid.
+        mutually_exclusive("flag_fraud", "authorize_payment"),
+        # A flagged claim must be denied (and hence lettered).
+        disj(absent("flag_fraud"), order("flag_fraud", "deny")),
+        # Denials always precede appeals; appeals force the senior review
+        # (already structural, stated for the record / redundancy demo).
+        causes("appeal", "senior_review"),
+        # Site inspections only once the appraisal is underway.
+        requires_prior("inspect_site", "appraise"),
+    ]
+
+
+def claims_specification() -> tuple[Goal, list[Constraint]]:
+    return claims_goal(), claims_constraints()

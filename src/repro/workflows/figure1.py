@@ -1,0 +1,79 @@
+"""The paper's running example: the workflow of Figure 1 and Example 5.7.
+
+Two artifacts are reproduced here:
+
+* :func:`figure1_graph` / :func:`figure1_goal` — the control flow graph of
+  Figure 1 and its concurrent-Horn encoding, the paper's formula (1)::
+
+      a ⊗ ((cond1 ⊗ b ⊗ ((d ⊗ cond3 ⊗ h) ∨ e) ⊗ j)
+          | (cond2 ⊗ c ⊗ ((f ⊗ i ⊗ cond4) ∨ (g ⊗ cond5)))) ⊗ k
+
+* :func:`figure1_constraints` — the global constraints shown on the right
+  of Figure 1, written as they appear in Section 3's catalogue:
+  "d must precede g if both occur" (Klein order) and "if f occurs then h
+  must also occur" (Klein existence).
+
+* :func:`example_5_7` — the knot example: the graph ``γ ⊗ (η ∨ (α|β|η))``
+  with the three conditional order constraints whose joint compilation
+  leaves only ``G₂ = γ ⊗ η`` alive.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint, absent, disj, order
+from ..constraints.klein import klein_existence, klein_order
+from ..ctr.formulas import Goal, atoms
+from ..graph.cfg import ControlFlowGraph
+from ..graph.translate import to_goal
+
+__all__ = [
+    "figure1_graph",
+    "figure1_goal",
+    "figure1_constraints",
+    "example_5_7",
+]
+
+
+def figure1_graph() -> ControlFlowGraph:
+    """The control flow graph on the left of Figure 1."""
+    g = ControlFlowGraph()
+    g.set_split("a", "and")
+    g.add_arc("a", "b", condition="cond1")
+    g.add_arc("a", "c", condition="cond2")
+    g.set_split("b", "or")
+    g.add_arc("b", "d")
+    g.add_arc("b", "e")
+    g.add_arc("d", "h", condition="cond3")
+    g.add_arc("h", "j")
+    g.add_arc("e", "j")
+    g.set_split("c", "or")
+    g.add_arc("c", "f")
+    g.add_arc("c", "g")
+    g.add_arc("f", "i")
+    g.add_arc("j", "k")
+    g.add_arc("i", "k", condition="cond4")
+    g.add_arc("g", "k", condition="cond5")
+    return g
+
+
+def figure1_goal() -> Goal:
+    """Formula (1): the concurrent-Horn encoding of the Figure 1 graph."""
+    return to_goal(figure1_graph())
+
+
+def figure1_constraints() -> list[Constraint]:
+    """Global constraints in the style of Figure 1's right-hand side."""
+    return [
+        klein_order("d", "g"),      # if d and g both occur, d comes first
+        klein_existence("f", "h"),  # if f occurs, h must occur as well
+    ]
+
+
+def example_5_7() -> tuple[Goal, list[Constraint]]:
+    """Example 5.7: the knotted specification whose excision leaves γ ⊗ η."""
+    alpha, beta, gamma, eta = atoms("alpha beta gamma eta")
+    goal = gamma >> (eta + (alpha | beta | eta))
+    c1 = disj(absent("alpha"), order("alpha", "beta"))
+    c2 = disj(absent("beta"), order("beta", "eta"))
+    c3 = disj(absent("alpha"), order("eta", "alpha"))
+    return goal, [c1, c2, c3]

@@ -1,0 +1,86 @@
+"""Order fulfilment — a transactional workflow with triggers and tasks.
+
+This workflow exercises the transactional vocabulary of Section 3 (tasks
+modelled by their ``start``/``commit``/``abort`` events, via
+:class:`repro.constraints.singh.Task`) and the trigger framework of
+Figure 1's middle column:
+
+* three tasks run the order: ``payment``, ``inventory`` (stock
+  reservation) and ``shipping``;
+* payment and inventory proceed concurrently after the order is placed;
+  shipping follows;
+* intertask dependencies from Singh's event algebra wire them together
+  (shipping cannot start unless both others committed; an inventory abort
+  cascades into a payment abort — the saga pattern);
+* a trigger fires a restock action when the inventory commit leaves the
+  stock low.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint, absent, disj, order
+from ..constraints.singh import Task, abort_dependency
+from ..ctr.formulas import Atom, Goal, atoms, par, seq
+from ..graph.triggers import Trigger, apply_triggers
+
+__all__ = [
+    "PAYMENT",
+    "INVENTORY",
+    "SHIPPING",
+    "orders_goal",
+    "orders_constraints",
+    "orders_specification",
+    "restock_trigger",
+]
+
+PAYMENT = Task("payment")
+INVENTORY = Task("inventory")
+SHIPPING = Task("shipping")
+
+
+def orders_goal(with_triggers: bool = True) -> Goal:
+    """The order-fulfilment control flow, optionally with the restock trigger.
+
+    After payment and inventory run concurrently, the order either goes to
+    shipping or is cancelled (an OR node) — the cancellation path is what
+    aborted sub-transactions fall back to.
+    """
+    place_order, close_order, cancel_order = atoms("place_order close_order cancel_order")
+    body = seq(
+        place_order,
+        par(PAYMENT.skeleton(), INVENTORY.skeleton()),
+        SHIPPING.skeleton() + cancel_order,
+        close_order,
+    )
+    if with_triggers:
+        body = apply_triggers(body, [restock_trigger()])
+    return body
+
+
+def restock_trigger() -> Trigger:
+    """On inventory commit, if stock is low, schedule a restock."""
+    return Trigger(
+        event=INVENTORY.commit,
+        condition="stock_low",
+        predicate=lambda db: bool(db.query("stock_low")),
+        action=Atom("restock"),
+    )
+
+
+def orders_constraints() -> list[Constraint]:
+    """Intertask dependencies for the order workflow."""
+    return [
+        # Shipping only starts if payment committed first...
+        disj(absent(SHIPPING.start), order(PAYMENT.commit, SHIPPING.start)),
+        # ...and inventory committed first.
+        disj(absent(SHIPPING.start), order(INVENTORY.commit, SHIPPING.start)),
+        # An inventory abort cascades into a payment abort (saga).
+        abort_dependency(PAYMENT, on=INVENTORY),
+        # An aborted payment must never be followed by a shipping commit.
+        disj(absent(PAYMENT.abort), absent(SHIPPING.commit)),
+    ]
+
+
+def orders_specification(with_triggers: bool = True) -> tuple[Goal, list[Constraint]]:
+    """Goal and constraints, ready for :func:`repro.core.compile_workflow`."""
+    return orders_goal(with_triggers), orders_constraints()

@@ -1,0 +1,122 @@
+"""The classic workflow control-flow patterns, expressed in CTR.
+
+The workflow-patterns literature (van der Aalst et al.) catalogues the
+control-flow idioms workflow languages are measured against. This module
+maps each pattern onto the concurrent-Horn fragment, with precise notes on
+the few that fall *outside* the fragment — which is itself informative:
+the boundary coincides with the paper's unique-event assumption and the
+all-branches-complete reading of ``|``.
+
+Expressible directly:
+
+=====================================  =======================================
+Pattern                                Encoding
+=====================================  =======================================
+Sequence                               ``⊗`` (:func:`sequence`)
+Parallel split + synchronization       ``|`` (:func:`parallel_split`)
+Exclusive choice + simple merge        ``∨`` (:func:`exclusive_choice`)
+Multi-choice + synchronizing merge     choice over non-empty branch subsets
+                                       (:func:`multi_choice`)
+Structured loop                        bounded unrolling
+                                       (:func:`repro.ctr.unroll.bounded_loop`)
+Interleaved parallel routing           concurrent ``⊙`` blocks
+                                       (:func:`interleaved_routing`)
+Deferred choice                        any ``∨`` — the pro-active scheduler
+                                       keeps every alternative live until an
+                                       event commits (:func:`deferred_choice`)
+Cancel region / compensation           the saga encoding
+                                       (:mod:`repro.core.saga`)
+Milestone (one-shot)                   a ``send``/``receive`` token guard
+                                       (:func:`milestone`)
+=====================================  =======================================
+
+Not expressible in the fragment (and why):
+
+* **Multi-merge / multiple instances** — the continuation would run once
+  per completed branch, i.e. the same events occur repeatedly, violating
+  the unique-event property the compilation relies on (Definition 3.1).
+* **Discriminator / N-out-of-M join** — the continuation starts after the
+  first branch while the laggards are abandoned mid-flight; in CTR every
+  concurrent conjunct must run to completion for the conjunction to hold.
+* **Arbitrary (unbounded) cycles** — need recursive rules, excluded by
+  the paper's non-iterative restriction; bounded unrolling approximates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ctr.formulas import Goal, Isolated, Receive, Send, alt, par, seq
+
+__all__ = [
+    "sequence",
+    "parallel_split",
+    "exclusive_choice",
+    "multi_choice",
+    "interleaved_routing",
+    "deferred_choice",
+    "milestone",
+]
+
+
+def sequence(*activities: Goal) -> Goal:
+    """WCP-1 Sequence: activities in strict order."""
+    return seq(*activities)
+
+
+def parallel_split(*branches: Goal) -> Goal:
+    """WCP-2/3 Parallel split with synchronization: all branches run,
+    interleaved, and the pattern completes when all have completed."""
+    return par(*branches)
+
+
+def exclusive_choice(*branches: Goal) -> Goal:
+    """WCP-4/5 Exclusive choice with simple merge: exactly one branch runs."""
+    return alt(*branches)
+
+
+def multi_choice(*branches: Goal) -> Goal:
+    """WCP-6/7 Multi-choice with structured synchronizing merge.
+
+    Any non-empty subset of the branches runs concurrently; the merge
+    waits for exactly the chosen ones. Encoded as the disjunction over
+    the 2^n − 1 subsets — exponential, so intended for small fan-outs
+    (which is how multi-choice occurs in practice).
+    """
+    if not branches:
+        raise ValueError("multi_choice needs at least one branch")
+    alternatives = []
+    for size in range(1, len(branches) + 1):
+        for subset in itertools.combinations(branches, size):
+            alternatives.append(par(*subset))
+    return alt(*alternatives)
+
+
+def interleaved_routing(*activities: Goal) -> Goal:
+    """WCP-17 Interleaved parallel routing: the activities run in *some*
+    order, never overlapping — concurrent composition of ⊙ blocks."""
+    return par(*(Isolated(activity) for activity in activities))
+
+
+def deferred_choice(*branches: Goal) -> Goal:
+    """WCP-16 Deferred choice.
+
+    Structurally identical to :func:`exclusive_choice`; the behavioural
+    difference is *who* chooses, and the pro-active scheduler implements
+    exactly the deferred reading: every alternative stays eligible until
+    the first fired event commits the run (see
+    ``Scheduler.test_shared_choice_keeps_worlds``).
+    """
+    return alt(*branches)
+
+
+def milestone(guarded: Goal, milestone_token: str) -> tuple[Goal, Goal]:
+    """WCP-18 Milestone (one-shot variant).
+
+    Returns ``(reach, guarded')``: sequence ``reach`` somewhere in the
+    workflow to mark the milestone, and use ``guarded'`` for the activity
+    that may only start after the milestone was reached. (The full
+    pattern also allows the milestone to *expire*, which would need a
+    retractable token — outside the fragment.)
+    """
+    return Send(milestone_token), seq(Receive(milestone_token), guarded)

@@ -1,0 +1,83 @@
+"""Graduate-student registration — sub-workflows via concurrent-Horn rules.
+
+The paper's second motivating process. This specification exercises the
+rule layer (:mod:`repro.ctr.rules`): named sub-workflows hide their
+internal structure from the top-level specification, exactly as Section 2
+describes ("subWorkFlowName can be used in workflow specifications as if
+it were a regular activity").
+
+Top level::
+
+    registration ← advising ⊗ (enrollment | funding) ⊗ finalize
+
+with ``advising``, ``enrollment``, ``funding`` defined by their own rules;
+``enrollment`` and ``funding`` each have alternative definitions (regular
+vs. late registration; assistantship vs. self-funded), demonstrating
+multiple clauses per head.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint, absent, disj, order
+from ..constraints.klein import klein_existence, requires_prior
+from ..ctr.formulas import Atom, Goal, atoms, seq
+from ..ctr.rules import Rule, RuleBase
+
+__all__ = ["registration_rules", "registration_goal", "registration_constraints",
+           "registration_specification"]
+
+
+def registration_rules() -> RuleBase:
+    """Sub-workflow definitions for the registration process."""
+    (meet_advisor, sign_plan, pick_courses, enroll_online, pay_late_fee,
+     enroll_in_person, apply_ta, apply_ra, accept_offer, pay_tuition,
+     get_id_card) = atoms(
+        "meet_advisor sign_plan pick_courses enroll_online pay_late_fee "
+        "enroll_in_person apply_ta apply_ra accept_offer pay_tuition "
+        "get_id_card"
+    )
+    return RuleBase(
+        [
+            Rule("advising", meet_advisor >> sign_plan),
+            # Two alternative definitions: regular online enrollment, or the
+            # late path that requires an in-person visit and a fee.
+            Rule("enrollment", pick_courses >> enroll_online),
+            Rule("enrollment", pick_courses >> pay_late_fee >> enroll_in_person),
+            Rule("funding", (apply_ta + apply_ra) >> accept_offer),
+            Rule("funding", Atom("self_funded")),
+            Rule("finalize", pay_tuition >> get_id_card),
+        ]
+    )
+
+
+def registration_goal() -> Goal:
+    """The top-level registration workflow (uses the sub-workflow names)."""
+    advising = Atom("advising")
+    enrollment = Atom("enrollment")
+    funding = Atom("funding")
+    finalize = Atom("finalize")
+    return seq(advising, enrollment | funding, finalize)
+
+
+def registration_constraints() -> list[Constraint]:
+    """Global constraints spanning sub-workflow boundaries."""
+    return [
+        # Tuition can only be paid after an enrollment happened.
+        disj(
+            absent("pay_tuition"),
+            order("enroll_online", "pay_tuition"),
+            order("enroll_in_person", "pay_tuition"),
+        ),
+        # Accepting a funding offer requires the signed study plan first.
+        requires_prior("accept_offer", "sign_plan"),
+        # Late fees are waived for RA holders: the two are incompatible.
+        disj(absent("pay_late_fee"), absent("apply_ra")),
+        # Whoever applies for a TA-ship must complete online enrollment
+        # (the TA assignment system only reads the online roster).
+        klein_existence("apply_ta", "enroll_online"),
+    ]
+
+
+def registration_specification() -> tuple[Goal, list[Constraint], RuleBase]:
+    """Goal, constraints, and rule base for :func:`repro.core.compile_workflow`."""
+    return registration_goal(), registration_constraints(), registration_rules()

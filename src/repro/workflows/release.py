@@ -1,0 +1,66 @@
+"""Software release pipeline — a modern workflow on the same old theory.
+
+Build, test (unit and integration concurrently), then ship: either a
+gradual rollout (canary → promote) or a direct deploy for hotfixes, with
+an optional rollback path. A change-freeze toggle and review rules arrive
+as global constraints.
+
+This specification doubles as the library's stress example for the
+redundancy analyzer: several rules deliberately overlap (e.g. the
+"canary before promote" order is also implied by the graph), so
+``redundant_constraints`` has something real to find — exercised in
+``tests/workflows/test_catalog.py``.
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint, absent, disj, order
+from ..constraints.klein import causes, klein_order, mutually_exclusive, requires_prior
+from ..ctr.formulas import Goal, atoms
+
+__all__ = ["release_goal", "release_constraints", "release_specification"]
+
+
+def release_goal() -> Goal:
+    """The release-pipeline control flow.
+
+    The pipeline is *optimistic*: the shipping track runs concurrently
+    with the (slow) testing track, so nothing in the graph alone stops a
+    canary from going out before the integration tests or the review
+    finish — that is exactly what the global constraints are for.
+    """
+    (merge, build, unit_tests, integration_tests, review_signoff,
+     canary, promote, direct_deploy, verify_health, rollback, announce) = atoms(
+        "merge build unit_tests integration_tests review_signoff "
+        "canary promote direct_deploy verify_health rollback announce"
+    )
+    testing = unit_tests | integration_tests | review_signoff
+    gradual = canary >> promote
+    ship = gradual + direct_deploy
+    aftermath = verify_health >> (announce + rollback)
+    return merge >> build >> (testing | ship) >> aftermath
+
+
+def release_constraints() -> list[Constraint]:
+    return [
+        # Review must be in before anything reaches production.
+        disj(absent("canary"), order("review_signoff", "canary")),
+        disj(absent("direct_deploy"), order("review_signoff", "direct_deploy")),
+        # Unit tests gate integration? No - they run concurrently; but a
+        # canary release additionally demands integration tests finished
+        # before the canary starts.
+        requires_prior("canary", "integration_tests"),
+        # Deliberately redundant: the graph already orders canary→promote.
+        klein_order("canary", "promote"),
+        # A rollback obliges a follow-up announcement? No - mutual
+        # exclusion: we never announce a release that was rolled back.
+        mutually_exclusive("rollback", "announce"),
+        # Promoting means we committed: no rollback after a promote...
+        # except that is exactly what rollback is for - instead demand a
+        # health check between promote and any rollback.
+        disj(absent("promote"), causes("promote", "verify_health")),
+    ]
+
+
+def release_specification() -> tuple[Goal, list[Constraint]]:
+    return release_goal(), release_constraints()

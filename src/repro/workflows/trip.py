@@ -1,0 +1,67 @@
+"""Trip planning — the motivating workflow from the paper's introduction.
+
+A traveller books transport and lodging for a trip:
+
+* transport: either a flight (search, then reserve, then ticket) or a
+  train reservation;
+* lodging: a hotel booking, concurrently with transport;
+* an optional rental car, only sensible when flying;
+* payment happens in isolation (⊙) at the end — the charge and the
+  voucher issue must not interleave with anything else.
+
+Global constraints tie the concurrent branches together:
+
+* the hotel must be booked before any payment is charged;
+* tickets may only be issued after the reservation was made (order);
+* a rental car requires a flight (Klein existence: renting without
+  flying makes no sense);
+* if the budget airline is chosen, the refundable-fare upgrade must not
+  happen (mutual exclusion).
+"""
+
+from __future__ import annotations
+
+from ..constraints.algebra import Constraint
+from ..constraints.klein import causes, klein_existence, mutually_exclusive, requires_prior
+from ..ctr.formulas import Goal, Isolated, atoms
+
+__all__ = ["trip_goal", "trip_constraints", "trip_specification"]
+
+
+def trip_goal() -> Goal:
+    """The trip-planning control flow as a concurrent-Horn goal."""
+    (plan, search_flights, reserve_flight, issue_ticket, book_train,
+     book_hotel, upgrade_refundable, rent_car, skip_car,
+     charge_card, issue_voucher, confirm) = atoms(
+        "plan search_flights reserve_flight issue_ticket book_train "
+        "book_hotel upgrade_refundable rent_car skip_car "
+        "charge_card issue_voucher confirm"
+    )
+    (keep_fare,) = atoms("keep_fare")
+    flight_branch = search_flights >> reserve_flight >> issue_ticket
+    transport = flight_branch + book_train
+    lodging = book_hotel >> (upgrade_refundable + keep_fare)
+    car = rent_car + skip_car
+    payment = Isolated(charge_card >> issue_voucher)
+    return plan >> (transport | lodging | car) >> payment >> confirm
+
+
+def trip_constraints() -> list[Constraint]:
+    """The global dependencies of the trip workflow."""
+    return [
+        # Payment is only charged once the hotel is secured.
+        requires_prior("charge_card", "book_hotel"),
+        # A rental car makes no sense without a flight reservation...
+        klein_existence("rent_car", "reserve_flight"),
+        # ...and must be picked up after the flight is reserved.
+        requires_prior("rent_car", "reserve_flight"),
+        # A refundable upgrade is incompatible with the train's fixed fare.
+        mutually_exclusive("upgrade_refundable", "book_train"),
+        # Issuing a ticket obliges us to eventually charge the card.
+        causes("issue_ticket", "charge_card"),
+    ]
+
+
+def trip_specification() -> tuple[Goal, list[Constraint]]:
+    """Goal and constraints together, ready for :func:`repro.core.compile_workflow`."""
+    return trip_goal(), trip_constraints()

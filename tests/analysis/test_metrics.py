@@ -1,0 +1,77 @@
+"""Tests for the measurement and fitting utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    fit_exponential,
+    fit_power_law,
+    goal_stats,
+    render_table,
+)
+from repro.ctr.formulas import Isolated, Receive, Send, atoms
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestGoalStats:
+    def test_counts(self):
+        goal = (A | B | C) >> (D + Send("t")) >> Receive("t")
+        stats = goal_stats(goal)
+        assert stats.events == 4
+        assert stats.choices == 1
+        assert stats.tokens == 2
+        assert stats.max_parallel_width == 3
+
+    def test_size_matches_goal_size(self):
+        from repro.ctr.formulas import goal_size
+
+        goal = Isolated(A >> B) | C
+        assert goal_stats(goal).size == goal_size(goal)
+
+
+class TestFitting:
+    def test_power_law_linear(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        ys = [3.0 * x for x in xs]
+        k, r2 = fit_power_law(xs, ys)
+        assert k == pytest.approx(1.0, abs=1e-9)
+        assert r2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_power_law_quadratic(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        ys = [0.5 * x**2 for x in xs]
+        k, _ = fit_power_law(xs, ys)
+        assert k == pytest.approx(2.0, abs=1e-9)
+
+    def test_exponential(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [7.0 * 3.0**x for x in xs]
+        base, r2 = fit_exponential(xs, ys)
+        assert base == pytest.approx(3.0, abs=1e-9)
+        assert r2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_exponential([2.0, 2.0], [1.0, 2.0])
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(
+            "T", ["x", "value"], [[1, 2.5], [10, 0.000123]], note="shape: linear"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[2] and "value" in lines[2]
+        assert "1.230e-04" in text
+        assert text.endswith("shape: linear")
+
+    def test_wide_cells(self):
+        text = render_table("T", ["name"], [["a-rather-long-entry"]])
+        assert "a-rather-long-entry" in text

@@ -1,0 +1,105 @@
+"""Tests for the CONSTR constraint algebra (Definition 3.2)."""
+
+import pytest
+
+from repro.constraints.algebra import (
+    And,
+    Or,
+    Primitive,
+    SerialConstraint,
+    absent,
+    conj,
+    constraint_events,
+    disj,
+    must,
+    order,
+    serial,
+    walk_constraint,
+)
+from repro.errors import ConstraintError
+
+
+class TestConstructors:
+    def test_must(self):
+        c = must("a")
+        assert isinstance(c, Primitive) and c.positive and c.event == "a"
+
+    def test_absent(self):
+        c = absent("a")
+        assert isinstance(c, Primitive) and not c.positive
+
+    def test_order(self):
+        c = order("a", "b")
+        assert isinstance(c, SerialConstraint) and c.events == ("a", "b")
+
+    def test_serial_many(self):
+        c = serial("a", "b", "c")
+        assert isinstance(c, SerialConstraint) and c.events == ("a", "b", "c")
+
+    def test_serial_single_collapses_to_must(self):
+        assert serial("a") == must("a")
+
+    def test_serial_rejects_repeats(self):
+        with pytest.raises(ConstraintError):
+            serial("a", "b", "a")
+
+    def test_serial_needs_two(self):
+        with pytest.raises(ConstraintError):
+            SerialConstraint(("a",))
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ConstraintError):
+            must("")
+
+
+class TestBooleanStructure:
+    def test_conj_flattens_and_dedupes(self):
+        c = conj(must("a"), conj(must("b"), must("a")))
+        assert c == And((must("a"), must("b")))
+
+    def test_disj_flattens_and_dedupes(self):
+        c = disj(absent("a"), disj(absent("a"), absent("b")))
+        assert c == Or((absent("a"), absent("b")))
+
+    def test_single_part_unwraps(self):
+        assert conj(must("a")) == must("a")
+        assert disj(must("a")) == must("a")
+
+    def test_no_parts_rejected(self):
+        with pytest.raises(ConstraintError):
+            conj()
+        with pytest.raises(ConstraintError):
+            disj()
+
+    def test_operator_dsl(self):
+        assert (must("a") & must("b")) == And((must("a"), must("b")))
+        assert (must("a") | must("b")) == Or((must("a"), must("b")))
+
+    def test_invert_delegates_to_negate(self):
+        assert ~must("a") == absent("a")
+        assert ~absent("a") == must("a")
+
+    def test_raw_constructors_require_arity(self):
+        with pytest.raises(ConstraintError):
+            And((must("a"),))
+        with pytest.raises(ConstraintError):
+            Or((must("a"),))
+
+
+class TestIntrospection:
+    def test_constraint_events(self):
+        c = conj(order("a", "b"), disj(absent("c"), must("d")))
+        assert constraint_events(c) == frozenset({"a", "b", "c", "d"})
+
+    def test_walk(self):
+        c = conj(must("a"), disj(must("b"), must("c")))
+        nodes = list(walk_constraint(c))
+        assert nodes[0] == c
+        assert must("b") in nodes
+
+    def test_str_forms(self):
+        assert str(must("a")) == "happens(a)"
+        assert str(absent("a")) == "never(a)"
+        assert str(order("a", "b")) == "precedes(a, b)"
+        assert "and" in str(conj(must("a"), must("b")))
+        assert "or" in str(disj(must("a"), must("b")))

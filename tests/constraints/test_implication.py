@@ -1,0 +1,107 @@
+"""Tests for workflow-independent constraint implication."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.constraints.algebra import absent, conj, disj, must, order, serial
+from repro.constraints.implication import (
+    equivalent,
+    find_witness,
+    implies,
+    is_satisfiable,
+)
+from repro.constraints.klein import klein_existence, klein_order
+from repro.constraints.normalize import negate, normalize, to_dnf
+from repro.constraints.satisfy import satisfies
+from tests.conftest import constraints_over
+
+EVENTS = ("a", "b", "c", "d")
+
+
+class TestSatisfiability:
+    def test_witness_found(self):
+        witness = find_witness([order("a", "b"), must("c")])
+        assert witness is not None
+        assert satisfies(witness, order("a", "b"))
+        assert satisfies(witness, must("c"))
+
+    def test_unsatisfiable_cycle(self):
+        assert not is_satisfiable([order("a", "b"), order("b", "a")])
+
+    def test_contradictory_primitives(self):
+        assert not is_satisfiable([must("a"), absent("a")])
+
+    def test_three_way_cycle(self):
+        assert not is_satisfiable(
+            [order("a", "b"), order("b", "c"), order("c", "a")]
+        )
+
+    def test_empty_set_is_satisfiable(self):
+        assert find_witness([absent("a")]) == ()
+
+
+class TestImplication:
+    def test_order_implies_klein_order(self):
+        assert implies(order("a", "b"), klein_order("a", "b"))
+        assert not implies(klein_order("a", "b"), order("a", "b"))
+
+    def test_serial_transitivity(self):
+        assert implies(serial("a", "b", "c"), order("a", "c"))
+
+    def test_order_implies_existence(self):
+        assert implies(order("a", "b"), must("a"))
+        assert implies(order("a", "b"), klein_existence("a", "b"))
+
+    def test_conjunction_of_premises(self):
+        premises = [klein_order("a", "b"), must("a"), must("b")]
+        assert implies(premises, order("a", "b"))
+
+    def test_fresh_event_in_conclusion(self):
+        # Premises say nothing about c: cannot entail its presence.
+        assert not implies(order("a", "b"), must("c"))
+
+    def test_everything_implies_tautology(self):
+        tautology = disj(must("a"), absent("a"))
+        assert implies([order("b", "c")], tautology)
+
+    def test_contradiction_implies_anything(self):
+        contradiction = [must("a"), absent("a")]
+        assert implies(contradiction, order("x", "y"))
+
+
+class TestEquivalence:
+    def test_normalize_preserves_equivalence(self):
+        c = conj(serial("a", "b", "c"), disj(absent("d"), must("a")))
+        assert equivalent(c, normalize(c))
+
+    def test_dnf_preserves_equivalence(self):
+        c = conj(disj(must("a"), must("b")), klein_order("a", "c"))
+        assert equivalent(c, to_dnf(c).to_constraint())
+
+    def test_double_negation(self):
+        c = disj(order("a", "b"), absent("c"))
+        assert equivalent(c, negate(negate(c)))
+
+    def test_inequivalent(self):
+        assert not equivalent(must("a"), absent("a"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(constraints_over(EVENTS[:3]))
+    def test_negation_never_equivalent(self, constraint):
+        assert not equivalent(constraint, negate(constraint))
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(constraints_over(EVENTS[:3]), constraints_over(EVENTS[:3]))
+    def test_implication_matches_enumeration(self, premise, conclusion):
+        alphabet = EVENTS[:3]
+        brute = all(
+            satisfies(trace, conclusion)
+            for size in range(len(alphabet) + 1)
+            for subset in itertools.combinations(alphabet, size)
+            for trace in itertools.permutations(subset)
+            if satisfies(trace, premise)
+        )
+        assert implies(premise, conclusion, events=alphabet) == brute

@@ -1,0 +1,106 @@
+"""Tests for the Klein/Section-3 constraint idiom catalogue.
+
+Each idiom is validated against its informal reading on an exhaustive set
+of small unique-event traces.
+"""
+
+import itertools
+
+from repro.constraints.klein import (
+    both_occur,
+    causes,
+    exactly_one,
+    klein_existence,
+    klein_order,
+    mutually_exclusive,
+    not_after,
+    requires_prior,
+)
+from repro.constraints.satisfy import satisfies
+
+TRACES = [
+    perm
+    for size in range(4)
+    for subset in itertools.combinations(("e", "f", "x"), size)
+    for perm in itertools.permutations(subset)
+]
+
+
+def holds_on(constraint):
+    return {t for t in TRACES if satisfies(t, constraint)}
+
+
+class TestKleinOrder:
+    def test_reading(self):
+        # "if both occur, e comes first" — traces without both are fine.
+        c = klein_order("e", "f")
+        for trace in TRACES:
+            expected = True
+            if "e" in trace and "f" in trace:
+                expected = trace.index("e") < trace.index("f")
+            assert satisfies(trace, c) == expected
+
+
+class TestKleinExistence:
+    def test_reading(self):
+        # "if e occurs then f must occur (before or after)"
+        c = klein_existence("e", "f")
+        for trace in TRACES:
+            expected = ("e" not in trace) or ("f" in trace)
+            assert satisfies(trace, c) == expected
+
+
+class TestBothOccur:
+    def test_reading(self):
+        c = both_occur("e", "f")
+        for trace in TRACES:
+            assert satisfies(trace, c) == ("e" in trace and "f" in trace)
+
+
+class TestMutuallyExclusive:
+    def test_reading(self):
+        c = mutually_exclusive("e", "f")
+        for trace in TRACES:
+            assert satisfies(trace, c) == (not ("e" in trace and "f" in trace))
+
+
+class TestCauses:
+    def test_reading(self):
+        # "if e occurs, f must occur later"
+        c = causes("e", "f")
+        for trace in TRACES:
+            if "e" not in trace:
+                expected = True
+            else:
+                expected = "f" in trace and trace.index("e") < trace.index("f")
+            assert satisfies(trace, c) == expected
+
+
+class TestRequiresPrior:
+    def test_reading(self):
+        # "if f occurred, e occurred before it"
+        c = requires_prior("f", "e")
+        for trace in TRACES:
+            if "f" not in trace:
+                expected = True
+            else:
+                expected = "e" in trace and trace.index("e") < trace.index("f")
+            assert satisfies(trace, c) == expected
+
+
+class TestNotAfter:
+    def test_reading(self):
+        # "f cannot occur after e"
+        c = not_after("e", "f")
+        for trace in TRACES:
+            violated = (
+                "e" in trace and "f" in trace and trace.index("e") < trace.index("f")
+            )
+            assert satisfies(trace, c) == (not violated)
+
+
+class TestExactlyOne:
+    def test_reading(self):
+        c = exactly_one("e", "f")
+        for trace in TRACES:
+            assert satisfies(trace, c) == (("e" in trace) != ("f" in trace))

@@ -1,0 +1,62 @@
+"""Tests for the constraint text syntax."""
+
+import pytest
+from hypothesis import given
+
+from repro.constraints.algebra import absent, conj, disj, must, order, serial
+from repro.constraints.parser import parse_constraint
+from repro.constraints.satisfy import satisfies
+from repro.errors import ParseError
+from tests.conftest import EVENT_POOL, constraints_over
+from tests.constraints.test_normalize import all_unique_traces
+
+
+class TestBasics:
+    def test_happens(self):
+        assert parse_constraint("happens(a)") == must("a")
+
+    def test_never(self):
+        assert parse_constraint("never(a)") == absent("a")
+
+    def test_precedes(self):
+        assert parse_constraint("precedes(a, b)") == order("a", "b")
+        assert parse_constraint("precedes(a, b, c)") == serial("a", "b", "c")
+
+    def test_and_or(self):
+        got = parse_constraint("happens(a) and never(b) or precedes(c, d)")
+        assert got == disj(conj(must("a"), absent("b")), order("c", "d"))
+
+    def test_parentheses(self):
+        got = parse_constraint("happens(a) and (never(b) or happens(c))")
+        assert got == conj(must("a"), disj(absent("b"), must("c")))
+
+    def test_not_compiles_to_constr(self):
+        got = parse_constraint("not precedes(a, b)")
+        assert got == disj(absent("a"), absent("b"), order("b", "a"))
+
+
+class TestErrors:
+    def test_trailing(self):
+        with pytest.raises(ParseError):
+            parse_constraint("happens(a) happens(b)")
+
+    def test_precedes_needs_two(self):
+        with pytest.raises(ParseError):
+            parse_constraint("precedes(a)")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_constraint("happens(a")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_constraint("!!!")
+
+
+class TestRoundTrip:
+    @given(constraints_over(EVENT_POOL[:4]))
+    def test_str_parse_semantics(self, constraint):
+        # str() output round-trips to a semantically equal constraint.
+        reparsed = parse_constraint(str(constraint))
+        for trace in all_unique_traces(EVENT_POOL[:4]):
+            assert satisfies(trace, constraint) == satisfies(trace, reparsed)

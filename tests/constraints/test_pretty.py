@@ -1,0 +1,36 @@
+"""Tests for the paper-notation constraint renderer."""
+
+from repro.constraints.algebra import absent, conj, disj, must, order, serial
+from repro.constraints.klein import klein_order
+from repro.constraints.pretty import pretty_constraint
+
+
+class TestPrettyConstraint:
+    def test_primitives(self):
+        assert pretty_constraint(must("e")) == "∇e"
+        assert pretty_constraint(absent("e")) == "¬∇e"
+
+    def test_order(self):
+        assert pretty_constraint(order("a", "b")) == "∇a ⊗ ∇b"
+
+    def test_long_serial(self):
+        assert pretty_constraint(serial("a", "b", "c")) == "∇a ⊗ ∇b ⊗ ∇c"
+
+    def test_conjunction(self):
+        assert pretty_constraint(conj(must("a"), must("b"))) == "∇a ∧ ∇b"
+
+    def test_disjunction_with_serial(self):
+        got = pretty_constraint(disj(absent("e"), order("e", "f")))
+        assert got == "¬∇e ∨ (∇e ⊗ ∇f)"
+
+    def test_klein_order_matches_paper(self):
+        # The paper writes Klein's order constraint ¬∇e ∨ ¬∇f ∨ (∇e ⊗ ∇f).
+        assert pretty_constraint(klein_order("e", "f")) == "¬∇e ∨ ¬∇f ∨ (∇e ⊗ ∇f)"
+
+    def test_nested_precedence(self):
+        got = pretty_constraint(conj(disj(must("a"), must("b")), must("c")))
+        assert got == "(∇a ∨ ∇b) ∧ ∇c"
+
+    def test_and_inside_or_is_parenthesised(self):
+        got = pretty_constraint(disj(conj(must("a"), must("b")), absent("c")))
+        assert got == "(∇a ∧ ∇b) ∨ ¬∇c"

@@ -1,0 +1,138 @@
+"""Tests for trace satisfaction and the three-valued prefix evaluator."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints.algebra import absent, conj, disj, must, order, serial
+from repro.constraints.satisfy import PrefixEvaluator, Verdict, satisfies
+from tests.conftest import EVENT_POOL, constraints_over
+
+EVENTS = EVENT_POOL[:4]
+
+
+class TestSatisfies:
+    def test_must(self):
+        assert satisfies(("a", "b"), must("a"))
+        assert not satisfies(("b",), must("a"))
+
+    def test_absent(self):
+        assert satisfies(("b",), absent("a"))
+        assert not satisfies(("a",), absent("a"))
+
+    def test_order(self):
+        assert satisfies(("a", "x", "b"), order("a", "b"))
+        assert not satisfies(("b", "a"), order("a", "b"))
+        assert not satisfies(("a",), order("a", "b"))
+        assert not satisfies((), order("a", "b"))
+
+    def test_long_serial(self):
+        c = serial("a", "b", "c")
+        assert satisfies(("a", "b", "c"), c)
+        assert satisfies(("a", "x", "b", "y", "c"), c)
+        assert not satisfies(("a", "c", "b"), c)
+
+    def test_and_or(self):
+        c = conj(must("a"), must("b"))
+        assert satisfies(("a", "b"), c)
+        assert not satisfies(("a",), c)
+        d = disj(must("a"), must("b"))
+        assert satisfies(("b",), d)
+        assert not satisfies(("c",), d)
+
+    def test_empty_trace(self):
+        assert satisfies((), absent("a"))
+        assert not satisfies((), must("a"))
+
+
+class TestVerdict:
+    def test_verdict_is_not_boolean(self):
+        with pytest.raises(TypeError):
+            bool(Verdict.TRUE)
+
+
+class TestPrefixEvaluator:
+    def test_must_unknown_until_seen(self):
+        ev = PrefixEvaluator()
+        assert ev.verdict(must("a")) is Verdict.UNKNOWN
+        ev.observe("a")
+        assert ev.verdict(must("a")) is Verdict.TRUE
+
+    def test_absent_false_once_seen(self):
+        ev = PrefixEvaluator()
+        assert ev.verdict(absent("a")) is Verdict.UNKNOWN
+        ev.observe("a")
+        assert ev.verdict(absent("a")) is Verdict.FALSE
+
+    def test_order_violated_by_early_second(self):
+        ev = PrefixEvaluator()
+        ev.observe("b")
+        assert ev.verdict(order("a", "b")) is Verdict.FALSE
+
+    def test_order_true_when_complete(self):
+        ev = PrefixEvaluator()
+        ev.observe("a")
+        assert ev.verdict(order("a", "b")) is Verdict.UNKNOWN
+        ev.observe("b")
+        assert ev.verdict(order("a", "b")) is Verdict.TRUE
+
+    def test_three_valued_connectives(self):
+        ev = PrefixEvaluator()
+        ev.observe("a")
+        c = conj(must("a"), must("b"))
+        assert ev.verdict(c) is Verdict.UNKNOWN
+        d = disj(must("a"), must("b"))
+        assert ev.verdict(d) is Verdict.TRUE
+        e = conj(absent("a"), must("b"))
+        assert ev.verdict(e) is Verdict.FALSE
+
+    def test_final_matches_satisfies(self):
+        ev = PrefixEvaluator()
+        for event in ("b", "a", "c"):
+            ev.observe(event)
+        c = conj(order("b", "a"), absent("d"))
+        assert ev.final(c) == satisfies(("b", "a", "c"), c)
+
+    def test_seen_and_length(self):
+        ev = PrefixEvaluator()
+        ev.observe("x")
+        assert ev.seen("x") and not ev.seen("y")
+        assert ev.prefix_length == 1
+
+
+class TestVerdictPermanence:
+    """Decisive verdicts must be stable under any continuation."""
+
+    @given(
+        constraints_over(EVENTS),
+        st.permutations(list(EVENTS)),
+        st.integers(0, len(EVENTS)),
+    )
+    def test_decided_verdicts_are_final(self, constraint, full_trace, cut):
+        prefix, suffix = full_trace[:cut], full_trace[cut:]
+        ev = PrefixEvaluator()
+        for event in prefix:
+            ev.observe(event)
+        verdict = ev.verdict(constraint)
+        outcome = satisfies(tuple(full_trace), constraint)
+        if verdict is Verdict.TRUE:
+            assert outcome
+        elif verdict is Verdict.FALSE:
+            assert not outcome
+
+    @given(constraints_over(EVENTS))
+    def test_unknown_resolves_both_ways_or_is_tight(self, constraint):
+        # For any constraint, the set of verdicts over all prefixes must be
+        # consistent: once TRUE/FALSE, later prefixes agree.
+        for perm in itertools.permutations(EVENTS):
+            ev = PrefixEvaluator()
+            decided = None
+            for event in perm:
+                ev.observe(event)
+                verdict = ev.verdict(constraint)
+                if decided is not None:
+                    assert verdict is decided
+                elif verdict in (Verdict.TRUE, Verdict.FALSE):
+                    decided = verdict

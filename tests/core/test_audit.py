@@ -1,0 +1,89 @@
+"""Tests for post-hoc execution auditing."""
+
+from repro.constraints.algebra import order
+from repro.core.audit import audit_execution
+from repro.core.compiler import compile_workflow
+from repro.core.engine import WorkflowEngine
+from repro.ctr.formulas import atoms
+from repro.db.oracle import TransitionOracle, insert_op
+from repro.db.state import Database
+
+A, B, C = atoms("a b c")
+
+
+def oracle():
+    o = TransitionOracle()
+    o.register("a", insert_op("r", 1))
+    o.register("b", insert_op("r", 2))
+    return o
+
+
+def honest_run():
+    compiled = compile_workflow((A | B) >> C, [order("a", "b")])
+    engine = WorkflowEngine(compiled, oracle=oracle(), db=Database())
+    report = engine.run()
+    return compiled, report
+
+
+class TestCleanRuns:
+    def test_honest_run_passes(self):
+        compiled, report = honest_run()
+        result = audit_execution(
+            compiled, report.schedule, report.database, oracle=oracle()
+        )
+        assert result.ok
+        assert "passed" in result.describe()
+
+
+class TestTamperedRuns:
+    def test_forbidden_schedule_detected(self):
+        compiled, report = honest_run()
+        result = audit_execution(
+            compiled, ("b", "a", "c"), report.database, oracle=oracle()
+        )
+        assert not result.schedule_ok
+        assert result.rejection is not None
+        assert "precedes(a, b)" in result.describe()
+
+    def test_tampered_state_detected(self):
+        compiled, report = honest_run()
+        report.database.insert("r", 999)  # someone edited the ledger
+        result = audit_execution(
+            compiled, report.schedule, report.database, oracle=oracle()
+        )
+        assert result.schedule_ok
+        assert not result.state_ok
+        assert "r" in result.state_diff
+        assert "state mismatch" in result.describe()
+
+    def test_forged_log_detected(self):
+        compiled, report = honest_run()
+        db = Database()
+        db.insert("r", 1)
+        db.insert("r", 2)
+        # Relational state matches a real run, but the log is empty.
+        result = audit_execution(compiled, report.schedule, db, oracle=oracle())
+        assert result.state_ok
+        assert not result.log_ok
+
+    def test_wrong_oracle_shows_state_drift(self):
+        compiled, report = honest_run()
+        different = TransitionOracle()
+        different.register("a", insert_op("r", 42))
+        result = audit_execution(
+            compiled, report.schedule, report.database, oracle=different
+        )
+        assert not result.state_ok
+
+    def test_initial_state_respected(self):
+        compiled, report = honest_run()
+        seeded = Database()
+        seeded.insert("pre", "x")
+        engine = WorkflowEngine(compiled, oracle=oracle(), db=seeded)
+        rerun = engine.run()
+        start = Database()
+        start.insert("pre", "x")
+        result = audit_execution(
+            compiled, rerun.schedule, rerun.database, oracle=oracle(), initial_db=start
+        )
+        assert result.ok

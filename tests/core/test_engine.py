@@ -1,0 +1,109 @@
+"""Tests for the workflow run-time engine."""
+
+import pytest
+
+from repro.constraints.algebra import order
+from repro.core.compiler import compile_workflow
+from repro.core.engine import ExecutionReport, WorkflowEngine, random_strategy
+from repro.ctr.formulas import Atom, Test, atoms, seq
+from repro.db.oracle import TransitionOracle, delete_op, insert_op
+from repro.db.state import Database
+from repro.errors import ExecutionError
+
+A, B, C = atoms("a b c")
+
+
+def make_engine(goal, constraints=(), oracle=None, db=None, strategy=None):
+    compiled = compile_workflow(goal, list(constraints))
+    return WorkflowEngine(compiled, oracle=oracle, db=db, strategy=strategy)
+
+
+class TestExecution:
+    def test_events_are_logged(self):
+        engine = make_engine(A >> B)
+        report = engine.run()
+        assert report.completed
+        assert report.schedule == ("a", "b")
+        assert report.database.log.events() == ("a", "b")
+
+    def test_updates_are_applied(self):
+        oracle = TransitionOracle()
+        oracle.register("a", insert_op("orders", 1, "open"))
+        oracle.register("b", delete_op("orders", 1, "open"))
+        engine = make_engine(A >> B, oracle=oracle)
+        report = engine.run()
+        assert report.database.query("orders") == []
+
+    def test_constraints_shape_execution(self):
+        engine = make_engine(B | A, [order("b", "a")])
+        report = engine.run()
+        assert report.schedule == ("b", "a")
+
+    def test_random_strategy_still_legal(self):
+        engine = make_engine((A | B) >> C, [order("a", "b")],
+                             strategy=random_strategy(seed=7))
+        report = engine.run()
+        assert report.schedule == ("a", "b", "c")
+
+    def test_report_truthiness(self):
+        report = ExecutionReport(schedule=(), database=Database(), completed=True)
+        assert report
+        assert not ExecutionReport(schedule=(), database=Database(), completed=False)
+
+
+class TestTransitionConditions:
+    def test_predicate_gates_branch_at_runtime(self):
+        low = Test("low_stock", predicate=lambda db: db.contains("stock", "low"))
+        ok = Test("stock_ok", predicate=lambda db: not db.contains("stock", "low"))
+        goal = A >> (seq(low, B) + seq(ok, C))
+
+        db = Database()
+        db.insert("stock", "low")
+        engine = make_engine(goal, db=db)
+        report = engine.run()
+        assert report.schedule == ("a", "b")
+
+        engine2 = make_engine(goal, db=Database())
+        assert engine2.run().schedule == ("a", "c")
+
+    def test_condition_reacts_to_updates(self):
+        # The 'a' activity inserts the flag the later test reads.
+        flag = Test("flagged", predicate=lambda db: db.contains("flag", "on"))
+        unflagged = Test("not_flagged", predicate=lambda db: not db.contains("flag", "on"))
+        goal = A >> (seq(flag, B) + seq(unflagged, C))
+        oracle = TransitionOracle()
+        oracle.register("a", insert_op("flag", "on"))
+        engine = make_engine(goal, oracle=oracle)
+        assert engine.run().schedule == ("a", "b")
+
+
+class TestFailureAtomicity:
+    def test_failed_activity_rolls_back(self):
+        def boom(db):
+            raise RuntimeError("disk on fire")
+
+        oracle = TransitionOracle()
+        oracle.register("a", insert_op("t", 1))
+        oracle.register("b", boom)
+        db = Database()
+        db.insert("pre", "existing")
+        engine = make_engine(A >> B, oracle=oracle, db=db)
+        with pytest.raises(ExecutionError) as info:
+            engine.run()
+        assert info.value.activity == "b"
+        # Rollback: the 'a' insert and all log records are gone...
+        assert not db.contains("t", 1)
+        assert db.log.events() == ()
+        # ...but pre-existing data survives.
+        assert db.contains("pre", "existing")
+
+
+class TestStepwise:
+    def test_manual_driving(self):
+        engine = make_engine((A | B) >> C, [order("a", "b")])
+        assert engine.eligible() == {"a"}
+        engine.fire("a")
+        assert engine.eligible() == {"b"}
+        engine.fire("b")
+        engine.fire("c")
+        assert engine.db.log.events() == ("a", "b", "c")

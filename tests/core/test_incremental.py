@@ -1,0 +1,77 @@
+"""Tests for incremental recompilation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.algebra import absent, must, order
+from repro.core.compiler import compile_workflow
+from repro.core.incremental import add_constraint, add_constraints
+from repro.ctr.formulas import atoms, event_names
+from repro.ctr.traces import traces
+from tests.conftest import constraints_over, unique_event_goals
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestBasics:
+    def test_add_constraint_prunes(self):
+        compiled = compile_workflow(A >> (B + C))
+        updated = add_constraint(compiled, absent("b"))
+        assert traces(updated.goal) == {("a", "c")}
+        assert updated.constraints == (absent("b"),)
+
+    def test_add_order_constraint_syncs(self):
+        compiled = compile_workflow(A | B | C)
+        updated = add_constraint(compiled, order("a", "b"))
+        assert traces(updated.goal) == {
+            t for t in traces(A | B | C) if t.index("a") < t.index("b")
+        }
+
+    def test_detects_new_inconsistency(self):
+        compiled = compile_workflow(A >> B, [must("a")])
+        updated = add_constraint(compiled, order("b", "a"))
+        assert not updated.consistent
+
+    def test_inconsistent_stays_inconsistent(self):
+        compiled = compile_workflow(A >> B, [order("b", "a")])
+        updated = add_constraint(compiled, must("a"))
+        assert not updated.consistent
+        assert len(updated.constraints) == 2
+
+    def test_empty_addition_is_identity(self):
+        compiled = compile_workflow(A >> B, [must("a")])
+        assert add_constraints(compiled, []) is compiled
+
+    def test_source_is_preserved(self):
+        compiled = compile_workflow(A >> (B + C))
+        updated = add_constraint(compiled, absent("b"))
+        assert updated.source == compiled.source
+
+
+class TestTokenFreshness:
+    def test_new_sync_tokens_do_not_collide(self):
+        compiled = compile_workflow(A | B | C | D, [order("a", "b")])
+        updated = add_constraint(compiled, order("c", "d"))
+        from repro.ctr.formulas import Send, walk
+
+        tokens = [n.token for n in walk(updated.goal) if isinstance(n, Send)]
+        assert len(tokens) == len(set(tokens))
+        assert updated.consistent
+
+
+class TestEquivalenceWithFullRecompilation:
+    @settings(max_examples=60, deadline=None)
+    @given(unique_event_goals(max_events=4), st.data())
+    def test_incremental_equals_batch(self, goal, data):
+        events = tuple(sorted(event_names(goal))) or ("e1", "e2")
+        if len(events) == 1:
+            events = events + ("e_other",)
+        first = data.draw(constraints_over(events))
+        second = data.draw(constraints_over(events))
+
+        incremental = add_constraint(compile_workflow(goal, [first]), second)
+        batch = compile_workflow(goal, [first, second])
+
+        assert incremental.consistent == batch.consistent
+        if batch.consistent:
+            assert traces(incremental.goal) == traces(batch.goal)

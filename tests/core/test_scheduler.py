@@ -1,0 +1,121 @@
+"""Tests for the pro-active scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.satisfy import satisfies
+from repro.core.compiler import compile_workflow
+from repro.core.scheduler import Scheduler
+from repro.constraints.algebra import order
+from repro.ctr.formulas import Isolated, atoms, event_names
+from repro.ctr.traces import traces
+from repro.errors import IneligibleEventError
+from tests.conftest import constraints_over, unique_event_goals
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestStepping:
+    def test_eligible_initially(self):
+        assert Scheduler((A | B) >> C).eligible() == {"a", "b"}
+
+    def test_fire_advances(self):
+        s = Scheduler(A >> B)
+        s.fire("a")
+        assert s.eligible() == {"b"}
+        assert s.history == ("a",)
+
+    def test_ineligible_event_raises(self):
+        s = Scheduler(A >> B)
+        with pytest.raises(IneligibleEventError) as info:
+            s.fire("b")
+        assert info.value.event == "b"
+        assert "a" in info.value.eligible
+
+    def test_can_finish(self):
+        s = Scheduler(A)
+        assert not s.can_finish()
+        s.fire("a")
+        assert s.can_finish()
+        assert s.finished
+
+    def test_reset(self):
+        s = Scheduler(A >> B)
+        s.fire("a")
+        s.reset()
+        assert s.eligible() == {"a"}
+        assert s.history == ()
+
+    def test_choice_commitment(self):
+        s = Scheduler((A >> B) + (C >> D))
+        s.fire("c")
+        assert s.eligible() == {"d"}
+
+    def test_shared_choice_keeps_worlds(self):
+        # Firing 'a' is compatible with both alternatives; 'b' then 'c' vs
+        # 'c' must both remain possible.
+        goal = (A >> B >> C) + (A >> C)
+        s = Scheduler(goal)
+        s.fire("a")
+        assert s.eligible() == {"b", "c"}
+        s.fire("c")
+        assert s.can_finish()
+
+    def test_isolation_scheduling(self):
+        s = Scheduler(Isolated(A >> B) | C)
+        s.fire("a")
+        assert s.eligible() == {"b"}  # block is running, c must wait
+        s.fire("b")
+        assert s.eligible() == {"c"}
+
+
+class TestRun:
+    def test_default_strategy_is_lexicographic(self):
+        assert Scheduler(B | A | C).run() == ("a", "b", "c")
+
+    def test_custom_strategy(self):
+        schedule = Scheduler(B | A | C).run(strategy=max)
+        assert schedule == ("c", "b", "a")
+
+    def test_tokens_enforced_during_run(self):
+        compiled = compile_workflow(A | B, [order("b", "a")])
+        assert compiled.scheduler().run() == ("b", "a")
+
+
+class TestEnumeration:
+    def test_enumerates_all_traces(self):
+        goal = (A | B) >> (C + D)
+        got = set(Scheduler(goal).enumerate_schedules())
+        assert got == set(traces(goal))
+
+    def test_enumeration_respects_limit(self):
+        from repro.ctr.traces import TooManyTracesError
+
+        goal = A | B | C | D
+        with pytest.raises(TooManyTracesError):
+            list(Scheduler(goal).enumerate_schedules(limit=3))
+
+    @settings(max_examples=60, deadline=None)
+    @given(unique_event_goals(max_events=4))
+    def test_scheduler_sound_and_complete(self, goal):
+        got = set(Scheduler(goal).enumerate_schedules())
+        assert got == set(traces(goal))
+
+
+class TestCompiledNeverStuck:
+    """On an excised goal, the scheduler can always finish what it starts."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(unique_event_goals(max_events=4), st.data())
+    def test_greedy_run_completes(self, goal, data):
+        events = tuple(sorted(event_names(goal))) or ("e1", "e2")
+        if len(events) == 1:
+            events = events + ("e_other",)
+        constraint = data.draw(constraints_over(events))
+        compiled = compile_workflow(goal, [constraint])
+        if not compiled.consistent:
+            return
+        schedule = compiled.scheduler().run()
+        assert schedule in traces(goal)
+        assert satisfies(schedule, constraint)

@@ -1,0 +1,133 @@
+"""Tests for the executable step semantics (the CTR proof-procedure machine)."""
+
+import pytest
+
+from repro.ctr.formulas import (
+    EMPTY,
+    PATH,
+    Isolated,
+    Possibility,
+    Receive,
+    Send,
+    Test,
+    atoms,
+)
+from repro.ctr.machine import Config, Machine, can_complete, machine_traces
+from repro.errors import SpecificationError
+
+A, B, C, D = atoms("a b c d")
+
+
+def successors_labels(goal):
+    machine = Machine(goal)
+    return sorted(machine.successors(machine.initial()))
+
+
+class TestSteps:
+    def test_atom_offers_itself(self):
+        assert successors_labels(A) == ["a"]
+
+    def test_serial_offers_head(self):
+        assert successors_labels(A >> B) == ["a"]
+
+    def test_concurrent_offers_all(self):
+        assert successors_labels(A | B | C) == ["a", "b", "c"]
+
+    def test_choice_offers_union(self):
+        assert successors_labels((A >> B) + C) == ["a", "c"]
+
+    def test_firing_commits_choice(self):
+        machine = Machine((A >> B) + (C >> D))
+        (config,) = machine.successors(machine.initial())["a"]
+        assert sorted(machine.successors(config)) == ["b"]
+
+    def test_receive_blocks_until_send(self):
+        goal = (A >> Send("t")) | (Receive("t") >> B)
+        machine = Machine(goal)
+        assert sorted(machine.successors(machine.initial())) == ["a"]
+        (after_a,) = machine.successors(machine.initial())["a"]
+        assert sorted(machine.successors(after_a)) == ["b"]
+
+    def test_path_rejected(self):
+        with pytest.raises(SpecificationError):
+            Machine(PATH)
+
+
+class TestIsolationAtRuntime:
+    def test_running_block_excludes_others(self):
+        goal = Isolated(A >> B) | C
+        machine = Machine(goal)
+        (inside,) = machine.successors(machine.initial())["a"]
+        # While the isolated block runs, only its continuation is offered.
+        assert sorted(machine.successors(inside)) == ["b"]
+
+    def test_block_releases_on_completion(self):
+        goal = Isolated(A >> B) | C
+        machine = Machine(goal)
+        (inside,) = machine.successors(machine.initial())["a"]
+        (done,) = machine.successors(inside)["b"]
+        assert sorted(machine.successors(done)) == ["c"]
+
+
+class TestCompletion:
+    def test_final_after_all_events(self):
+        machine = Machine(A)
+        (config,) = machine.successors(machine.initial())["a"]
+        assert machine.is_final(config)
+
+    def test_not_final_midway(self):
+        machine = Machine(A >> B)
+        (config,) = machine.successors(machine.initial())["a"]
+        assert not machine.is_final(config)
+
+    def test_trailing_send_finishes_silently(self):
+        machine = Machine(A >> Send("t"))
+        (config,) = machine.successors(machine.initial())["a"]
+        assert machine.is_final(config)
+
+    def test_can_complete(self):
+        assert can_complete(A >> B)
+        assert not can_complete(Receive("never") >> A)
+        knot = (Receive("x") >> A >> Send("y")) | (Receive("y") >> B >> Send("x"))
+        assert not can_complete(knot)
+
+
+class TestPossibility:
+    def test_possibility_checks_current_tokens(self):
+        # ◇(receive t) succeeds only after send(t) happened.
+        goal = Send("t") >> Possibility(Receive("t")) >> A
+        assert machine_traces(goal) == {("a",)}
+
+    def test_possibility_blocks_when_unsatisfiable(self):
+        goal = Possibility(Receive("t")) >> A
+        assert machine_traces(goal) == frozenset()
+
+    def test_possibility_does_not_leak_tokens(self):
+        # The hypothetical send inside ◇ must not enable a real receive.
+        goal = Possibility(Send("t")) >> Receive("t") >> A
+        assert machine_traces(goal) == frozenset()
+
+
+class TestHooks:
+    def test_test_hook_gates_branch(self):
+        goal = (Test("go") >> A) + (Test("stop") >> B)
+        machine = Machine(goal, test_hook=lambda t: t.name == "go")
+        assert sorted(machine.successors(machine.initial())) == ["a"]
+
+    def test_default_hook_is_permissive(self):
+        goal = Test("whatever") >> A
+        assert machine_traces(goal) == {("a",)}
+
+
+class TestConfig:
+    def test_config_equality(self):
+        assert Config(A) == Config(A)
+        assert Config(A, frozenset({"t"})) != Config(A)
+
+    def test_with_goal(self):
+        config = Config(A, frozenset({"t"}))
+        assert config.with_goal(B) == Config(B, frozenset({"t"}))
+
+    def test_initial_is_empty_tokens(self):
+        machine = Machine(A)
+        assert machine.initial() == Config(A, frozenset())

@@ -1,0 +1,107 @@
+"""Tests for the textual goal syntax and its round-trip with the printer."""
+
+import pytest
+from hypothesis import given
+
+from repro.ctr.formulas import (
+    EMPTY,
+    NEG_PATH,
+    PATH,
+    Atom,
+    Choice,
+    Concurrent,
+    Isolated,
+    Possibility,
+    Receive,
+    Send,
+    Serial,
+    Test,
+    atoms,
+)
+from repro.ctr.parser import parse_goal
+from repro.ctr.pretty import pretty
+from repro.errors import ParseError
+from tests.conftest import unique_event_goals
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestBasics:
+    def test_atom(self):
+        assert parse_goal("a") == A
+
+    def test_serial(self):
+        assert parse_goal("a * b * c") == Serial((A, B, C))
+
+    def test_concurrent(self):
+        assert parse_goal("a | b") == Concurrent((A, B))
+
+    def test_choice(self):
+        assert parse_goal("a + b") == Choice((A, B))
+
+    def test_precedence(self):
+        # '*' binds tighter than '|', which binds tighter than '+'.
+        goal = parse_goal("a * b | c + d")
+        assert goal == Choice((Concurrent((Serial((A, B)), C)), D))
+
+    def test_parentheses(self):
+        assert parse_goal("a * (b + c)") == Serial((A, Choice((B, C))))
+
+    def test_empty(self):
+        assert parse_goal("()") is EMPTY
+
+    def test_special_names(self):
+        assert parse_goal("path") is PATH
+        assert parse_goal("fail") is NEG_PATH
+
+
+class TestOperators:
+    def test_isolated(self):
+        assert parse_goal("[a * b]") == Isolated(Serial((A, B)))
+
+    def test_possibility(self):
+        assert parse_goal("<a>") == Possibility(A)
+
+    def test_send_receive(self):
+        assert parse_goal("send(t) * receive(t)") == Serial((Send("t"), Receive("t")))
+
+    def test_test_condition(self):
+        assert parse_goal("cond? * a") == Serial((Test("cond"), A))
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_goal("a b")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_goal("(a * b")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_goal("")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_goal("a & b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_goal("a *")
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse_goal("a @ b")
+        assert info.value.position == 2
+
+
+class TestRoundTrip:
+    @given(unique_event_goals(max_events=6))
+    def test_pretty_parse_identity(self, goal):
+        assert parse_goal(pretty(goal)) == goal
+
+    def test_round_trip_with_specials(self):
+        text = "[a * send(t)] | (receive(t) * b + c?) * ()"
+        goal = parse_goal(text)
+        assert parse_goal(pretty(goal)) == goal

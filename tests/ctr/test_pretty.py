@@ -1,0 +1,62 @@
+"""Tests for the pretty printers."""
+
+from repro.ctr.formulas import (
+    EMPTY,
+    NEG_PATH,
+    PATH,
+    Isolated,
+    Possibility,
+    Receive,
+    Send,
+    Test,
+    atoms,
+)
+from repro.ctr.pretty import pretty, pretty_tree, pretty_unicode
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestAscii:
+    def test_serial(self):
+        assert pretty(A >> B >> C) == "a * b * c"
+
+    def test_minimal_parentheses(self):
+        assert pretty(A >> (B + C)) == "a * (b + c)"
+        assert pretty((A >> B) + C) == "a * b + c"
+
+    def test_concurrent_precedence(self):
+        assert pretty((A | B) >> C) == "(a | b) * c"
+        assert pretty(A | (B >> C)) == "a | b * c"
+
+    def test_choice_is_loosest(self):
+        assert pretty((A | B) + C) == "a | b + c"
+        assert pretty(A | (B + C)) == "a | (b + c)"
+
+    def test_specials(self):
+        assert pretty(NEG_PATH) == "fail"
+        assert pretty(PATH) == "path"
+        assert pretty(EMPTY) == "()"
+        assert pretty(Send("t")) == "send(t)"
+        assert pretty(Receive("t")) == "receive(t)"
+        assert pretty(Test("cond")) == "cond?"
+
+    def test_modalities(self):
+        assert pretty(Isolated(A >> B)) == "[a * b]"
+        assert pretty(Possibility(A + B)) == "<a + b>"
+
+
+class TestUnicode:
+    def test_paper_notation(self):
+        assert pretty_unicode(A >> (B + C)) == "a ⊗ (b ∨ c)"
+        assert pretty_unicode(NEG_PATH) == "¬path"
+        assert pretty_unicode(EMPTY) == "ε"
+
+
+class TestTree:
+    def test_tree_rendering(self):
+        text = pretty_tree(A >> (B | Send("t")))
+        lines = text.splitlines()
+        assert lines[0] == "Serial"
+        assert "  Atom a" in lines
+        assert "  Concurrent" in lines
+        assert "    Send t" in lines

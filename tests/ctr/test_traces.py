@@ -1,0 +1,135 @@
+"""Tests for the enumerable trace semantics (the testing oracle itself)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ctr.formulas import (
+    EMPTY,
+    NEG_PATH,
+    PATH,
+    Isolated,
+    Possibility,
+    Receive,
+    Send,
+    Test,
+    atoms,
+)
+from repro.ctr.machine import machine_traces
+from repro.ctr.traces import TooManyTracesError, count_traces, is_executable, traces
+from repro.errors import SpecificationError
+from tests.conftest import unique_event_goals
+
+A, B, C, D = atoms("a b c d")
+
+
+class TestConnectives:
+    def test_atom(self):
+        assert traces(A) == {("a",)}
+
+    def test_serial_concatenates(self):
+        assert traces(A >> B >> C) == {("a", "b", "c")}
+
+    def test_choice_unions(self):
+        assert traces(A + B) == {("a",), ("b",)}
+
+    def test_concurrent_shuffles(self):
+        assert traces(A | B) == {("a", "b"), ("b", "a")}
+
+    def test_three_way_shuffle_count(self):
+        assert count_traces(A | B | C) == 6
+
+    def test_shuffle_of_chains(self):
+        got = traces((A >> B) | C)
+        assert got == {("a", "b", "c"), ("a", "c", "b"), ("c", "a", "b")}
+
+    def test_empty_goal(self):
+        assert traces(EMPTY) == {()}
+
+    def test_neg_path_has_no_traces(self):
+        assert traces(NEG_PATH) == frozenset()
+        assert not is_executable(NEG_PATH)
+
+    def test_path_is_rejected(self):
+        with pytest.raises(SpecificationError):
+            traces(PATH)
+
+
+class TestIsolation:
+    def test_isolated_block_is_contiguous(self):
+        got = traces(Isolated(A >> B) | C)
+        assert got == {("a", "b", "c"), ("c", "a", "b")}
+        assert ("a", "c", "b") not in got
+
+    def test_isolated_single_step_is_transparent(self):
+        assert traces(Isolated(A) | B) == traces(A | B)
+
+    def test_nested_isolation(self):
+        got = traces(Isolated(Isolated(A >> B) >> C) | D)
+        # the whole outer block is contiguous
+        assert ("a", "b", "d", "c") not in got
+        assert ("a", "b", "c", "d") in got
+        assert ("d", "a", "b", "c") in got
+
+
+class TestCommunication:
+    def test_send_receive_orders_branches(self):
+        goal = (A >> Send("t")) | (Receive("t") >> B)
+        assert traces(goal) == {("a", "b")}
+
+    def test_unmatched_receive_deadlocks(self):
+        assert traces(Receive("t") >> A) == frozenset()
+
+    def test_unmatched_send_is_harmless(self):
+        assert traces(Send("t") >> A) == {("a",)}
+
+    def test_cross_knot_has_no_traces(self):
+        goal = (Receive("x") >> A >> Send("y")) | (Receive("y") >> B >> Send("x"))
+        assert traces(goal) == frozenset()
+
+    def test_tokens_are_projected_out(self):
+        goal = Send("t") >> A >> Receive("t")
+        assert traces(goal) == {("a",)}
+
+
+class TestPossibilityAndTests:
+    def test_possibility_consumes_nothing(self):
+        assert traces(Possibility(A) >> B) == {("b",)}
+
+    def test_impossible_possibility_kills_execution(self):
+        assert traces(Possibility(NEG_PATH) >> B) == frozenset()
+
+    def test_possibility_of_deadlock_kills_execution(self):
+        assert traces(Possibility(Receive("nope")) >> B) == frozenset()
+
+    def test_test_is_transparent_statically(self):
+        assert traces(Test("cond") >> A) == {("a",)}
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        wide = atoms([f"w{i}" for i in range(8)])
+        goal = wide[0]
+        for w in wide[1:]:
+            goal = goal | w
+        with pytest.raises(TooManyTracesError):
+            traces(goal, max_traces=10)
+
+    def test_count_traces(self):
+        assert count_traces(A + B + C) == 3
+
+
+class TestMachineAgreement:
+    """The step-semantics machine and the denotational traces must agree."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(unique_event_goals(max_events=5))
+    def test_machine_equals_traces(self, goal):
+        assert machine_traces(goal) == traces(goal)
+
+    def test_agreement_with_tokens(self):
+        goal = (A >> Send("t")) | (Receive("t") >> B) | C
+        assert machine_traces(goal) == traces(goal)
+
+    def test_agreement_with_isolation(self):
+        goal = Isolated(A >> B) | (C >> D)
+        assert machine_traces(goal) == traces(goal)

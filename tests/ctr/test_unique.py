@@ -1,0 +1,69 @@
+"""Tests for the unique-event property checker (Definition 3.1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.ctr.formulas import Isolated, Possibility, atoms
+from repro.ctr.unique import check_unique_events, is_unique_event_goal, occurring_events
+from repro.errors import UniqueEventError
+from tests.conftest import unique_event_goals
+
+A, B, C = atoms("a b c")
+
+
+class TestViolations:
+    def test_serial_repetition(self):
+        assert not is_unique_event_goal(A >> A)
+
+    def test_concurrent_repetition(self):
+        assert not is_unique_event_goal(A | A)
+
+    def test_serial_overlap_across_subtrees(self):
+        assert not is_unique_event_goal((A | B) >> (A + C))
+
+    def test_error_carries_event(self):
+        with pytest.raises(UniqueEventError) as info:
+            check_unique_events(A >> (B | A))
+        assert info.value.event == "a"
+
+    def test_deep_violation(self):
+        goal = (A >> B) | (C + (B >> C))
+        # b occurs in both the left concurrent branch and the right one.
+        assert not is_unique_event_goal(goal)
+
+
+class TestAllowed:
+    def test_choice_alternatives_may_share(self):
+        assert is_unique_event_goal((A >> B) + (B >> A))
+
+    def test_nested_choice_sharing(self):
+        goal = ((A + B) >> C) + (C >> (B + A))
+        assert is_unique_event_goal(goal)
+
+    def test_possibility_is_hypothetical(self):
+        # a in the ◇ body never *occurs*, so a ⊗ ◇a is fine.
+        assert is_unique_event_goal(A >> Possibility(A))
+
+    def test_possibility_body_must_be_wellformed(self):
+        assert not is_unique_event_goal(Possibility(A >> A))
+
+    def test_isolated_counts_normally(self):
+        assert not is_unique_event_goal(Isolated(A) >> A)
+        assert is_unique_event_goal(Isolated(A >> B) | C)
+
+
+class TestOccurringEvents:
+    def test_simple(self):
+        assert occurring_events(A >> (B + C)) == frozenset({"a", "b", "c"})
+
+    def test_possibility_excluded(self):
+        assert occurring_events(Possibility(A) >> B) == frozenset({"b"})
+
+    def test_choice_union(self):
+        assert occurring_events(A + B) == frozenset({"a", "b"})
+
+
+class TestProperty:
+    @given(unique_event_goals(max_events=6))
+    def test_generated_goals_are_unique_event(self, goal):
+        check_unique_events(goal)

@@ -1,0 +1,47 @@
+"""Tests for the significant-event log."""
+
+from repro.db.log import EventLog, EventRecord
+
+
+class TestEventLog:
+    def test_append_assigns_sequence(self):
+        log = EventLog()
+        r0 = log.append("a")
+        r1 = log.append("b", payload={"k": 1})
+        assert (r0.sequence, r1.sequence) == (0, 1)
+        assert r1.payload == {"k": 1}
+
+    def test_events_in_order(self):
+        log = EventLog()
+        for e in ("x", "y", "z"):
+            log.append(e)
+        assert log.events() == ("x", "y", "z")
+
+    def test_occurred(self):
+        log = EventLog()
+        log.append("a")
+        assert log.occurred("a") and not log.occurred("b")
+
+    def test_len_and_iter(self):
+        log = EventLog()
+        log.append("a")
+        log.append("b")
+        assert len(log) == 2
+        assert [r.event for r in log] == ["a", "b"]
+
+    def test_snapshot_restore(self):
+        log = EventLog()
+        log.append("a")
+        snap = log.snapshot()
+        log.append("b")
+        log.restore(snap)
+        assert log.events() == ("a",)
+
+    def test_records_are_immutable(self):
+        record = EventRecord(sequence=0, event="a")
+        try:
+            record.event = "b"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,104 @@
+"""Tests for the transition oracle and elementary update constructors."""
+
+import pytest
+
+from repro.db.oracle import (
+    TransitionOracle,
+    assign_op,
+    choice_op,
+    delete_op,
+    insert_op,
+)
+from repro.db.state import Database
+from repro.errors import DatabaseError
+
+
+class TestRegistry:
+    def test_unregistered_events_only_log(self):
+        oracle = TransitionOracle()
+        db = Database()
+        oracle.execute("mystery", db)
+        assert db.log.events() == ("mystery",)
+        assert db.relation_names == frozenset()
+
+    def test_registered_update_applies_and_logs(self):
+        oracle = TransitionOracle()
+        oracle.register("book", insert_op("booking", "room-12"))
+        db = Database()
+        oracle.execute("book", db)
+        assert db.contains("booking", "room-12")
+        assert db.log.events() == ("book",)
+
+    def test_knows(self):
+        oracle = TransitionOracle()
+        oracle.register("x", insert_op("r", 1))
+        assert oracle.knows("x") and not oracle.knows("y")
+
+
+class TestElementaryUpdates:
+    def test_delete_op(self):
+        oracle = TransitionOracle()
+        oracle.register("undo", delete_op("r", 1))
+        db = Database()
+        db.insert("r", 1)
+        oracle.execute("undo", db)
+        assert not db.contains("r", 1)
+
+    def test_strict_delete_inapplicable(self):
+        oracle = TransitionOracle()
+        oracle.register("undo", delete_op("r", 1, strict=True))
+        with pytest.raises(DatabaseError):
+            oracle.execute("undo", Database())
+
+    def test_assign_op(self):
+        oracle = TransitionOracle()
+        oracle.register("reset", assign_op("r", [(9,)]))
+        db = Database()
+        db.insert("r", 1)
+        oracle.execute("reset", db)
+        assert db.query("r") == [(9,)]
+
+
+class TestNondeterminism:
+    def test_choice_op_commits_to_one(self):
+        update = choice_op(insert_op("r", "left"), insert_op("r", "right"))
+        oracle = TransitionOracle(seed=3)
+        db = Database()
+        oracle.register("pick", update)
+        oracle.execute("pick", db)
+        rows = db.query("r")
+        assert rows in ([("left",)], [("right",)])
+
+    def test_choice_is_seed_deterministic(self):
+        def run(seed):
+            oracle = TransitionOracle(seed=seed)
+            oracle.register("pick", choice_op(insert_op("r", "l"), insert_op("r", "r")))
+            db = Database()
+            oracle.execute("pick", db)
+            return db.query("r")
+
+        assert run(5) == run(5)
+
+    def test_successors_enumerates_all(self):
+        oracle = TransitionOracle()
+        oracle.register("pick", choice_op(insert_op("r", "l"), insert_op("r", "r")))
+        db = Database()
+        states = oracle.successors("pick", db)
+        results = sorted(s.query("r")[0][0] for s in states)
+        assert results == ["l", "r"]
+        # Each successor carries the event in its log.
+        assert all(s.log.events() == ("pick",) for s in states)
+        # The original database is untouched.
+        assert db.query("r") == []
+
+    def test_successors_of_plain_event(self):
+        oracle = TransitionOracle()
+        db = Database()
+        (only,) = oracle.successors("e", db)
+        assert only.log.events() == ("e",)
+
+    def test_empty_candidates_is_inapplicable(self):
+        oracle = TransitionOracle()
+        oracle.register("never", lambda db: [])
+        with pytest.raises(DatabaseError):
+            oracle.execute("never", Database())

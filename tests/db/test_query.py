@@ -1,0 +1,122 @@
+"""Tests for the declarative query language over database states."""
+
+import pytest
+
+from repro.constraints.algebra import order
+from repro.core.compiler import compile_workflow
+from repro.core.engine import WorkflowEngine
+from repro.ctr.formulas import Test, atoms, seq
+from repro.db.oracle import TransitionOracle, insert_op
+from repro.db.query import Query, V, Var, condition_from_query
+from repro.db.state import Database
+from repro.errors import SpecificationError
+
+
+def sample_db():
+    db = Database()
+    db.insert("stock", "widget", "low")
+    db.insert("stock", "gadget", "ok")
+    db.insert("supplier", "widget", "acme")
+    db.insert("supplier", "gadget", "acme")
+    db.insert("blocked", "acme")
+    return db
+
+
+class TestVariables:
+    def test_factory(self):
+        assert V.item == Var("item")
+        assert V.item is not V.other
+
+    def test_repr(self):
+        assert repr(V.x) == "?x"
+
+
+class TestEvaluation:
+    def test_ground_pattern(self):
+        q = Query.where(("stock", "widget", "low"))
+        assert q.holds(sample_db())
+        assert not Query.where(("stock", "widget", "ok")).holds(sample_db())
+
+    def test_single_variable(self):
+        q = Query.where(("stock", V.item, "low"))
+        bindings = q.bindings(sample_db())
+        assert bindings == [{V.item: "widget"}]
+
+    def test_join_on_shared_variable(self):
+        q = Query.where(("stock", V.item, "low"), ("supplier", V.item, V.who))
+        bindings = q.bindings(sample_db())
+        assert bindings == [{V.item: "widget", V.who: "acme"}]
+
+    def test_join_failure(self):
+        db = sample_db()
+        db.delete("supplier", "widget", "acme")
+        q = Query.where(("stock", V.item, "low"), ("supplier", V.item, V.who))
+        assert not q.holds(db)
+
+    def test_repeated_variable_in_pattern(self):
+        db = Database()
+        db.insert("edge", 1, 1)
+        db.insert("edge", 1, 2)
+        q = Query.where(("edge", V.x, V.x))
+        assert q.bindings(db) == [{V.x: 1}]
+
+    def test_arity_mismatch_ignored(self):
+        db = Database()
+        db.insert("r", 1, 2, 3)
+        assert not Query.where(("r", V.x, V.y)).holds(db)
+
+    def test_empty_query_vacuous(self):
+        assert Query.where().holds(Database())
+
+
+class TestNegation:
+    def test_unless(self):
+        q = Query.where(("supplier", V.item, V.who)).unless(("blocked", V.who))
+        assert not q.holds(sample_db())  # acme is blocked for every item
+
+    def test_unless_passes_when_absent(self):
+        db = sample_db()
+        db.delete("blocked", "acme")
+        q = Query.where(("supplier", V.item, V.who)).unless(("blocked", V.who))
+        assert q.holds(db)
+
+    def test_bindings_filtered(self):
+        db = sample_db()
+        db.insert("supplier", "widget", "globex")
+        q = Query.where(("supplier", V.item, V.who)).unless(("blocked", V.who))
+        assert q.bindings(db) == [{V.item: "widget", V.who: "globex"}]
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(SpecificationError):
+            Query.where(("stock", V.item, "low")).unless(("blocked", V.other))
+
+    def test_negation_without_positive_rejected(self):
+        with pytest.raises(SpecificationError):
+            Query((), (("blocked", "acme"),))
+
+
+class TestEngineIntegration:
+    def test_query_backed_condition(self):
+        a, reorder, proceed = atoms("audit reorder proceed")
+        low = condition_from_query("low_stock", Query.where(("stock", V.item, "low")))
+        ok = Test("stock_ok", Query.where(("stock", V.item, "low")).negated_predicate())
+        goal = a >> (seq(low, reorder) + seq(ok, proceed))
+        compiled = compile_workflow(goal)
+
+        engine = WorkflowEngine(compiled, db=sample_db())
+        assert engine.run().schedule == ("audit", "reorder")
+
+        fresh = Database()
+        fresh.insert("stock", "widget", "ok")
+        engine2 = WorkflowEngine(compiled, db=fresh)
+        assert engine2.run().schedule == ("audit", "proceed")
+
+    def test_condition_sees_live_updates(self):
+        a, b, done = atoms("restock verify done")
+        oracle = TransitionOracle()
+        oracle.register("restock", insert_op("stock", "widget", "ok"))
+        refilled = condition_from_query("refilled", Query.where(("stock", V.i, "ok")))
+        goal = a >> refilled >> b >> done
+        compiled = compile_workflow(goal, [order("restock", "verify")])
+        engine = WorkflowEngine(compiled, oracle=oracle, db=Database())
+        assert engine.run().schedule == ("restock", "verify", "done")

@@ -1,0 +1,111 @@
+"""Tests for the relational database state."""
+
+import pytest
+
+from repro.db.state import Database
+from repro.errors import DatabaseError
+
+
+class TestUpdates:
+    def test_insert_and_contains(self):
+        db = Database()
+        db.insert("r", 1, "x")
+        assert db.contains("r", 1, "x")
+        assert not db.contains("r", 2, "x")
+
+    def test_insert_is_idempotent(self):
+        db = Database()
+        db.insert("r", 1)
+        db.insert("r", 1)
+        assert db.query("r") == [(1,)]
+
+    def test_delete_unconditional(self):
+        db = Database()
+        db.delete("r", 1)  # absent tuple: no-op, no error
+        db.insert("r", 1)
+        db.delete("r", 1)
+        assert not db.contains("r", 1)
+
+    def test_delete_strict(self):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.delete_strict("r", 1)
+        db.insert("r", 1)
+        db.delete_strict("r", 1)
+        assert not db.contains("r", 1)
+
+    def test_assign(self):
+        db = Database()
+        db.insert("r", 1)
+        db.assign("r", [(2,), (3,)])
+        assert db.query("r") == [(2,), (3,)]
+
+
+class TestQueries:
+    def test_wildcard_patterns(self):
+        db = Database()
+        db.insert("flight", "JFK", "CDG")
+        db.insert("flight", "JFK", "LHR")
+        db.insert("flight", "SFO", "CDG")
+        assert db.query("flight", "JFK", None) == [("JFK", "CDG"), ("JFK", "LHR")]
+        assert db.query("flight", None, "CDG") == [("JFK", "CDG"), ("SFO", "CDG")]
+
+    def test_no_pattern_returns_all(self):
+        db = Database()
+        db.insert("r", 2)
+        db.insert("r", 1)
+        assert db.query("r") == [(1,), (2,)]
+
+    def test_arity_mismatch_matches_nothing(self):
+        db = Database()
+        db.insert("r", 1, 2)
+        assert db.query("r", None) == []
+
+    def test_relation_names(self):
+        db = Database()
+        db.insert("a", 1)
+        db.insert("b", 1)
+        db.delete("b", 1)
+        assert db.relation_names == frozenset({"a"})
+
+    def test_relation_view_is_frozen(self):
+        db = Database()
+        db.insert("r", 1)
+        assert db.relation("r") == frozenset({(1,)})
+        assert db.relation("missing") == frozenset()
+
+
+class TestSnapshots:
+    def test_snapshot_restore(self):
+        db = Database()
+        db.insert("r", 1)
+        db.log.append("e1")
+        snap = db.snapshot()
+        db.insert("r", 2)
+        db.log.append("e2")
+        db.restore(snap)
+        assert db.query("r") == [(1,)]
+        assert db.log.events() == ("e1",)
+
+    def test_copy_is_independent(self):
+        db = Database()
+        db.insert("r", 1)
+        clone = db.copy()
+        clone.insert("r", 2)
+        assert db.query("r") == [(1,)]
+        assert clone.query("r") == [(1,), (2,)]
+
+    def test_same_state_ignores_log(self):
+        db1, db2 = Database(), Database()
+        db1.insert("r", 1)
+        db2.insert("r", 1)
+        db1.log.append("x")
+        assert db1.same_state(db2)
+        db2.insert("r", 2)
+        assert not db1.same_state(db2)
+
+    def test_empty_relations_ignored_in_equality(self):
+        db1, db2 = Database(), Database()
+        db1.insert("r", 1)
+        db1.delete("r", 1)
+        assert db1.same_state(db2)

@@ -1,0 +1,78 @@
+"""Stateful property testing of the database substrate.
+
+A hypothesis rule-based state machine drives random interleavings of
+inserts, deletes, assignments, snapshots, and restores against both the
+real :class:`~repro.db.state.Database` and a plain-dictionary model,
+checking they never diverge — the classic model-based testing setup for a
+storage engine.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.db.state import Database
+
+RELATIONS = ("orders", "stock", "audit")
+VALUES = st.tuples(st.integers(0, 3), st.sampled_from(("x", "y", "z")))
+
+
+class DatabaseModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.model: dict[str, set[tuple]] = {}
+        self.model_log: list[str] = []
+        self.snapshots = []
+
+    snapshots_bundle = Bundle("snapshots")
+
+    @rule(relation=st.sampled_from(RELATIONS), row=VALUES)
+    def insert(self, relation, row):
+        self.db.insert(relation, *row)
+        self.model.setdefault(relation, set()).add(row)
+
+    @rule(relation=st.sampled_from(RELATIONS), row=VALUES)
+    def delete(self, relation, row):
+        self.db.delete(relation, *row)
+        self.model.get(relation, set()).discard(row)
+
+    @rule(relation=st.sampled_from(RELATIONS), rows=st.lists(VALUES, max_size=3))
+    def assign(self, relation, rows):
+        self.db.assign(relation, rows)
+        self.model[relation] = set(rows)
+
+    @rule(event=st.sampled_from(("a", "b", "c")))
+    def log_event(self, event):
+        self.db.log.append(event)
+        self.model_log.append(event)
+
+    @rule(target=snapshots_bundle)
+    def take_snapshot(self):
+        return (self.db.snapshot(), {k: set(v) for k, v in self.model.items()},
+                list(self.model_log))
+
+    @rule(snap=snapshots_bundle)
+    def restore_snapshot(self, snap):
+        db_snap, model_state, model_log = snap
+        self.db.restore(db_snap)
+        self.model = {k: set(v) for k, v in model_state.items()}
+        self.model_log = list(model_log)
+
+    @invariant()
+    def agrees_with_model(self):
+        for relation in RELATIONS:
+            expected = sorted(self.model.get(relation, set()))
+            assert self.db.query(relation) == expected
+        assert self.db.log.events() == tuple(self.model_log)
+
+    @invariant()
+    def relation_names_track_nonempty(self):
+        expected = frozenset(r for r, rows in self.model.items() if rows)
+        assert self.db.relation_names == expected
+
+
+DatabaseModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestDatabaseModel = DatabaseModel.TestCase

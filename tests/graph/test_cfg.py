@@ -1,0 +1,94 @@
+"""Tests for the control-flow-graph model."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.cfg import AND, OR, Arc, ControlFlowGraph
+
+
+def diamond():
+    g = ControlFlowGraph()
+    g.add_arc("s", "l")
+    g.add_arc("s", "r")
+    g.add_arc("l", "t")
+    g.add_arc("r", "t")
+    return g
+
+
+class TestConstruction:
+    def test_arcs_register_activities(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "b")
+        assert g.activities == frozenset({"a", "b"})
+
+    def test_self_loop_rejected(self):
+        g = ControlFlowGraph()
+        with pytest.raises(SpecificationError):
+            g.add_arc("a", "a")
+
+    def test_empty_name_rejected(self):
+        g = ControlFlowGraph()
+        with pytest.raises(SpecificationError):
+            g.add_activity("")
+
+    def test_conditions_on_arcs(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "b", condition="ok")
+        assert g.arcs == (Arc("a", "b", "ok"),)
+
+
+class TestSplits:
+    def test_default_split_is_and(self):
+        g = diamond()
+        assert g.split_of("s") == AND
+
+    def test_declared_split(self):
+        g = diamond()
+        g.set_split("s", OR)
+        assert g.split_of("s") == OR
+
+    def test_bad_split_kind(self):
+        g = diamond()
+        with pytest.raises(SpecificationError):
+            g.set_split("s", "xor")
+
+
+class TestTerminals:
+    def test_initial_and_final(self):
+        g = diamond()
+        assert g.initial == "s"
+        assert g.final == "t"
+
+    def test_two_sources_rejected(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "c")
+        g.add_arc("b", "c")
+        with pytest.raises(SpecificationError):
+            g.initial
+
+    def test_two_sinks_rejected(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "b")
+        g.add_arc("a", "c")
+        with pytest.raises(SpecificationError):
+            g.final
+
+
+class TestNeighbours:
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert {a.target for a in g.successors("s")} == {"l", "r"}
+        assert {a.source for a in g.predecessors("t")} == {"l", "r"}
+
+
+class TestCycles:
+    def test_acyclic_passes(self):
+        diamond().check_acyclic()
+
+    def test_cycle_detected(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        g.add_arc("c", "a")
+        with pytest.raises(SpecificationError):
+            g.check_acyclic()

@@ -1,0 +1,67 @@
+"""Tests for the Graphviz DOT exporters."""
+
+from repro.core.compiler import compile_workflow
+from repro.constraints.algebra import order
+from repro.ctr.formulas import Isolated, Possibility, Test, atoms
+from repro.graph.cfg import ControlFlowGraph
+from repro.graph.dot import cfg_to_dot, goal_to_dot
+from repro.workflows.figure1 import figure1_graph
+
+A, B, C = atoms("a b c")
+
+
+class TestCfgDot:
+    def test_basic_structure(self):
+        g = ControlFlowGraph()
+        g.add_arc("a", "b", condition="ok")
+        dot = cfg_to_dot(g)
+        assert dot.startswith('digraph "workflow" {')
+        assert dot.rstrip().endswith("}")
+        assert '"a" -> "b" [label="ok"' in dot
+
+    def test_split_annotations(self):
+        g = figure1_graph()
+        dot = cfg_to_dot(g, title="figure1")
+        assert "[AND]" in dot   # node a
+        assert "[OR]" in dot    # nodes b and c
+
+    def test_every_activity_declared(self):
+        g = figure1_graph()
+        dot = cfg_to_dot(g)
+        for activity in g.activities:
+            assert f'"{activity}"' in dot
+
+    def test_quoting(self):
+        g = ControlFlowGraph()
+        g.add_arc('say "hi"', "b")
+        dot = cfg_to_dot(g)
+        assert '\\"hi\\"' in dot
+
+
+class TestGoalDot:
+    def test_operator_tree(self):
+        dot = goal_to_dot(A >> (B + C))
+        assert 'label="⊗"' in dot
+        assert 'label="∨"' in dot
+        assert 'label="a"' in dot
+
+    def test_serial_edges_numbered(self):
+        dot = goal_to_dot(A >> B)
+        assert 'label="1"' in dot and 'label="2"' in dot
+
+    def test_sync_edges_dashed(self):
+        compiled = compile_workflow(A | B, [order("a", "b")])
+        dot = goal_to_dot(compiled.goal)
+        assert "send xi1" in dot and "recv xi1" in dot
+        assert "style=dashed" in dot
+
+    def test_modalities_and_tests(self):
+        goal = Isolated(A >> Test("cond")) | Possibility(B)
+        dot = goal_to_dot(goal)
+        assert 'label="⊙"' in dot
+        assert 'label="◇"' in dot
+        assert 'label="cond?"' in dot
+
+    def test_output_is_balanced(self):
+        dot = goal_to_dot((A | B) >> C)
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,96 @@
+"""End-to-end simulation: many randomized runs of a real workflow.
+
+Drives the insurance-claims workflow through the full stack — compile,
+schedule with a seeded random strategy, execute elementary updates against
+a live database — for many different interleavings, and checks the
+business invariants on the *database* after every run. This is the
+closest thing to production traffic the test-suite has.
+"""
+
+import pytest
+
+from repro.constraints.satisfy import satisfies
+from repro.core.compiler import compile_workflow
+from repro.core.engine import WorkflowEngine, random_strategy
+from repro.core.explain import is_allowed
+from repro.db.oracle import TransitionOracle, insert_op
+from repro.db.state import Database
+from repro.workflows.claims import claims_constraints, claims_goal
+
+CLAIM = 7001
+
+
+def build_oracle() -> TransitionOracle:
+    oracle = TransitionOracle()
+    oracle.register("register", insert_op("claim", CLAIM, "open"))
+    oracle.register("verify_policy", insert_op("check", CLAIM, "policy"))
+    oracle.register("appraise", insert_op("check", CLAIM, "appraisal"))
+    oracle.register("flag_fraud", insert_op("fraud", CLAIM))
+    oracle.register("authorize_payment", insert_op("payment", CLAIM, "authorized"))
+    oracle.register("transfer_funds", insert_op("payment", CLAIM, "transferred"))
+    oracle.register("deny", insert_op("claim", CLAIM, "denied"))
+    oracle.register("send_denial_letter", insert_op("letter", CLAIM))
+    return oracle
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_workflow(claims_goal(), claims_constraints())
+
+
+class TestSimulation:
+    def test_many_randomized_runs(self, compiled):
+        seen_settled = seen_denied = seen_fraud = 0
+        for seed in range(60):
+            db = Database()
+            engine = WorkflowEngine(
+                compiled,
+                oracle=build_oracle(),
+                db=db,
+                strategy=random_strategy(seed=seed),
+            )
+            report = engine.run()
+            assert report.completed
+
+            # The schedule really is one the specification allows.
+            assert is_allowed(compiled, report.schedule)
+            for constraint in claims_constraints():
+                assert satisfies(report.schedule, constraint)
+
+            # Database-level business invariants.
+            paid = db.contains("payment", CLAIM, "transferred")
+            fraudulent = db.contains("fraud", CLAIM)
+            denied = db.contains("claim", CLAIM, "denied")
+            if fraudulent:
+                seen_fraud += 1
+                assert not paid, "fraud hold violated in the database"
+                assert db.contains("letter", CLAIM), "fraud without denial letter"
+            if paid:
+                seen_settled += 1
+                assert db.contains("check", CLAIM, "policy")
+                assert db.contains("check", CLAIM, "appraisal")
+                assert db.contains("payment", CLAIM, "authorized")
+            if denied:
+                seen_denied += 1
+                assert db.contains("letter", CLAIM)
+            assert paid or denied, "every claim ends settled or denied"
+
+            # The log replays the schedule exactly.
+            assert db.log.events() == report.schedule
+
+        # The random strategies actually explored both outcomes.
+        assert seen_settled > 0
+        assert seen_denied > 0
+        assert seen_fraud > 0
+
+    def test_every_enumerated_schedule_is_runnable(self, compiled):
+        count = 0
+        for schedule in compiled.schedules(limit=200_000):
+            count += 1
+            if count > 200:
+                break
+            engine = WorkflowEngine(compiled, oracle=build_oracle(), db=Database())
+            for event in schedule:
+                assert event in engine.eligible()
+                engine.fire(event)
+        assert count > 100  # the claims workflow has real breadth

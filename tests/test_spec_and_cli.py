@@ -1,0 +1,147 @@
+"""Tests for the specification-file format and the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.ctr.formulas import atoms
+from repro.errors import ParseError
+from repro.spec import parse_specification
+
+A, B, C = atoms("a b c")
+
+SPEC = """\
+# demo workflow
+goal: start * (pay | pack) * ship
+
+constraint: precedes(pay, ship)
+
+property paid_before_shipping: precedes(pay, ship)
+property never_refund: never(refund)
+property pack_first: precedes(pack, pay)
+"""
+
+INCONSISTENT = """\
+goal: a * b
+constraint: precedes(b, a)
+"""
+
+WITH_RULES = """\
+goal: prepare * main_course
+rule main_course: cook * plate
+rule main_course: order_in
+constraint: happens(cook) or happens(order_in)
+"""
+
+
+class TestSpecificationParsing:
+    def test_basic(self):
+        spec = parse_specification(SPEC)
+        assert len(spec.constraints) == 1
+        assert len(spec.properties) == 3
+        assert spec.rules is None
+
+    def test_rules(self):
+        spec = parse_specification(WITH_RULES)
+        assert spec.rules is not None
+        assert spec.rules.heads == {"main_course"}
+        assert len(spec.rules.bodies("main_course")) == 2
+
+    def test_compile(self):
+        compiled = parse_specification(SPEC).compile()
+        assert compiled.consistent
+
+    def test_missing_goal(self):
+        with pytest.raises(ParseError):
+            parse_specification("constraint: happens(a)")
+
+    def test_duplicate_goal(self):
+        with pytest.raises(ParseError):
+            parse_specification("goal: a\ngoal: b")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ParseError) as info:
+            parse_specification("goal: a\nwibble: b")
+        assert "line 2" in str(info.value)
+
+    def test_comments_and_blanks_ignored(self):
+        spec = parse_specification("# intro\n\ngoal: a\n  # trailing\n")
+        assert spec.goal == A
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    def write(content):
+        path = tmp_path / "flow.workflow"
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+def run_cli(args):
+    out = io.StringIO()
+    status = main(args, out=out)
+    return status, out.getvalue()
+
+
+class TestCli:
+    def test_check_consistent(self, spec_file):
+        status, output = run_cli(["check", spec_file(SPEC)])
+        assert status == 0
+        assert "consistent: True" in output
+
+    def test_check_inconsistent(self, spec_file):
+        status, output = run_cli(["check", spec_file(INCONSISTENT)])
+        assert status == 1
+        assert "consistent: False" in output
+
+    def test_schedules(self, spec_file):
+        status, output = run_cli(["schedules", spec_file(SPEC), "--limit", "10"])
+        assert status == 0
+        assert "start -> pay -> pack -> ship" in output
+
+    def test_schedules_inconsistent(self, spec_file):
+        status, output = run_cli(["schedules", spec_file(INCONSISTENT)])
+        assert status == 1
+
+    def test_verify_reports_failures(self, spec_file):
+        status, output = run_cli(["verify", spec_file(SPEC)])
+        assert status == 1  # pack_first fails
+        assert "[HOLDS] paid_before_shipping" in output
+        assert "[FAILS] pack_first" in output
+        assert "witness:" in output
+
+    def test_verify_without_properties(self, spec_file):
+        status, output = run_cli(["verify", spec_file(INCONSISTENT)])
+        assert status == 0
+        assert "no properties" in output
+
+    def test_run(self, spec_file):
+        status, output = run_cli(["run", spec_file(SPEC)])
+        assert status == 0
+        assert output.strip().startswith("start")
+
+    def test_show(self, spec_file):
+        status, output = run_cli(["show", spec_file(WITH_RULES)])
+        assert status == 0
+        assert "compiled:" in output and "cook" in output
+
+    def test_missing_file(self, capsys):
+        status = main(["check", "/nonexistent/spec"])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_is_reported(self, spec_file, capsys):
+        status = main(["check", spec_file("goal: ???")])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliDot:
+    def test_dot_output(self, spec_file):
+        status, output = run_cli(["dot", spec_file(SPEC)])
+        assert status == 0
+        assert output.startswith("digraph")
+        assert '"pay"' in output or 'label="pay"' in output

@@ -1,0 +1,89 @@
+"""Tests for the claims and release workflow specifications."""
+
+from repro.constraints.algebra import absent, disj, must, order
+from repro.constraints.klein import klein_order
+from repro.core.compiler import compile_workflow
+from repro.core.static import analyze
+from repro.core.verify import is_redundant, verify_property
+from repro.workflows.claims import claims_constraints, claims_goal, claims_specification
+from repro.workflows.release import (
+    release_constraints,
+    release_goal,
+    release_specification,
+)
+
+
+class TestClaims:
+    def test_consistent(self):
+        goal, constraints = claims_specification()
+        assert compile_workflow(goal, constraints).consistent
+
+    def test_fraud_is_never_paid(self):
+        goal, constraints = claims_specification()
+        prop = disj(absent("flag_fraud"), absent("transfer_funds"))
+        assert verify_property(goal, constraints, prop).holds
+
+    def test_fraud_forces_denial_letter(self):
+        goal, constraints = claims_specification()
+        prop = disj(absent("flag_fraud"), must("send_denial_letter"))
+        assert verify_property(goal, constraints, prop).holds
+
+    def test_four_eyes_before_payment(self):
+        goal, constraints = claims_specification()
+        for schedule in compile_workflow(goal, constraints).schedules(limit=200_000):
+            if "authorize_payment" in schedule:
+                assert schedule.index("verify_policy") < schedule.index("authorize_payment")
+                assert schedule.index("appraise") < schedule.index("authorize_payment")
+
+    def test_payment_is_isolated(self):
+        goal, constraints = claims_specification()
+        for schedule in compile_workflow(goal, constraints).schedules(limit=200_000):
+            if "authorize_payment" in schedule:
+                i = schedule.index("authorize_payment")
+                assert schedule[i + 1] == "transfer_funds"
+
+    def test_not_every_claim_settles(self):
+        goal, constraints = claims_specification()
+        result = verify_property(goal, constraints, must("transfer_funds"))
+        assert not result.holds
+        assert "deny" in result.witness
+
+    def test_static_report(self):
+        goal, constraints = claims_specification()
+        report = analyze(compile_workflow(goal, constraints))
+        assert "register" in report.mandatory
+        assert "appeal" in report.optional
+        assert not report.dead
+
+
+class TestRelease:
+    def test_consistent(self):
+        goal, constraints = release_specification()
+        assert compile_workflow(goal, constraints).consistent
+
+    def test_review_gates_production(self):
+        goal, constraints = release_specification()
+        prop = disj(absent("promote"), order("review_signoff", "promote"))
+        assert verify_property(goal, constraints, prop).holds
+
+    def test_no_announcement_after_rollback(self):
+        goal, constraints = release_specification()
+        for schedule in compile_workflow(goal, constraints).schedules(limit=200_000):
+            assert not ("rollback" in schedule and "announce" in schedule)
+
+    def test_klein_order_is_redundant(self):
+        # The graph itself orders canary before promote.
+        goal, constraints = release_specification()
+        assert is_redundant(goal, constraints, klein_order("canary", "promote"))
+
+    def test_review_rules_are_not_redundant(self):
+        goal, constraints = release_specification()
+        review_rule = disj(absent("canary"), order("review_signoff", "canary"))
+        assert not is_redundant(goal, constraints, review_rule)
+
+    def test_direct_deploy_skips_canary(self):
+        goal, constraints = release_specification()
+        schedules = list(compile_workflow(goal, constraints).schedules(limit=200_000))
+        direct = [s for s in schedules if "direct_deploy" in s]
+        assert direct
+        assert all("canary" not in s for s in direct)
