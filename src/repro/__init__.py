@@ -50,8 +50,12 @@ from .constraints import (
     to_dnf,
 )
 from .core import (
+    ChaosOracle,
     CompiledWorkflow,
+    ResiliencePolicy,
+    RetryPolicy,
     SagaStep,
+    VirtualClock,
     WorkflowReport,
     analyze,
     compile_modular,
@@ -121,6 +125,7 @@ __all__ = [
     "mutually_exclusive", "Task", "parse_constraint",
     # core
     "compile_workflow", "CompiledWorkflow", "Scheduler", "WorkflowEngine",
+    "ResiliencePolicy", "RetryPolicy", "ChaosOracle", "VirtualClock",
     "apply_constraint", "apply_all", "excise", "is_consistent",
     "verify_property", "VerificationResult", "is_redundant",
     "redundant_constraints", "compile_modular", "SagaStep", "saga_goal",

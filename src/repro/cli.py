@@ -49,6 +49,29 @@ def _build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--limit", type=int, default=100, help="maximum schedules to print"
             )
+        if name == "run":
+            command.add_argument(
+                "--retry", type=int, default=1, metavar="N",
+                help="attempt each activity up to N times (default: 1)",
+            )
+            command.add_argument(
+                "--backoff", type=float, default=0.0, metavar="SECONDS",
+                help="base delay between attempts, doubled each retry "
+                     "(virtual seconds)",
+            )
+            command.add_argument(
+                "--fail", action="append", default=[], metavar="EVENT[:K]",
+                help="chaos: fail EVENT's first K attempts "
+                     "(omit :K to fail it permanently); repeatable",
+            )
+            command.add_argument(
+                "--fail-rate", type=float, default=0.0, metavar="P",
+                help="chaos: fail any attempt with probability P (seeded)",
+            )
+            command.add_argument(
+                "--seed", type=int, default=0,
+                help="seed for --fail-rate fault injection",
+            )
     return parser
 
 
@@ -91,15 +114,52 @@ def _cmd_verify(spec: Specification, out) -> int:
     return 1 if failures else 0
 
 
-def _cmd_run(spec: Specification, out) -> int:
+def _cmd_run(spec: Specification, out, args) -> int:
     from .core.engine import WorkflowEngine
+    from .core.resilience import ChaosOracle, ResiliencePolicy, RetryPolicy, VirtualClock
+    from .db.oracle import TransitionOracle
 
     compiled = spec.compile()
     if not compiled.consistent:
         print("inconsistent: nothing to run", file=out)
         return 1
-    report = WorkflowEngine(compiled).run()
+    clock = VirtualClock()
+    oracle = TransitionOracle()
+    if args.fail or args.fail_rate:
+        from .ctr.formulas import event_names
+
+        known = event_names(spec.goal)
+        chaos = ChaosOracle(oracle, clock=clock, seed=args.seed)
+        for directive in args.fail:
+            event, _, budget = directive.partition(":")
+            try:
+                attempts = int(budget) if budget else None
+            except ValueError:
+                print(f"error: --fail expects EVENT[:K] with integer K, "
+                      f"got {directive!r}", file=sys.stderr)
+                return 2
+            if event not in known:
+                print(f"warning: --fail {event!r} matches no activity in "
+                      "the workflow; no fault will be injected",
+                      file=sys.stderr)
+            chaos.fail_event(event, attempts=attempts)
+        if args.fail_rate:
+            try:
+                chaos.fail_rate(args.fail_rate)
+            except ValueError as exc:
+                print(f"error: --fail-rate: {exc}", file=sys.stderr)
+                return 2
+        oracle = chaos
+    policies = ResiliencePolicy(
+        default=RetryPolicy(max_attempts=max(args.retry, 1),
+                            base_delay=args.backoff, multiplier=2.0)
+    )
+    report = WorkflowEngine(compiled, oracle=oracle,
+                            policies=policies, clock=clock).run()
     print(" -> ".join(report.schedule), file=out)
+    summary = report.summary()
+    if summary:
+        print(summary, file=out)
     return 0
 
 
@@ -143,7 +203,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if args.command == "verify":
             return _cmd_verify(spec, out)
         if args.command == "run":
-            return _cmd_run(spec, out)
+            return _cmd_run(spec, out, args)
         if args.command == "dot":
             return _cmd_dot(spec, out)
         return _cmd_show(spec, out)
@@ -152,6 +212,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        schedule = getattr(exc, "schedule", None)
+        if schedule:
+            print("  partial schedule: " + " -> ".join(schedule), file=sys.stderr)
+        eligible = getattr(exc, "eligible", None)
+        if eligible:
+            print("  eligible at failure: " + ", ".join(sorted(eligible)),
+                  file=sys.stderr)
         return 1
     except BrokenPipeError:  # e.g. `repro dot ... | head`
         return 0

@@ -27,7 +27,17 @@ from .engine import ExecutionReport, WorkflowEngine, first_strategy, random_stra
 from .excise import excise, flat_executable, has_knot
 from .explain import Rejection, explain_rejection, is_allowed
 from .incremental import add_constraint, add_constraints
-from .scheduler import Scheduler
+from .resilience import (
+    ChaosOracle,
+    FailureRecord,
+    FaultInjected,
+    RerouteRecord,
+    ResiliencePolicy,
+    RetryPolicy,
+    SystemClock,
+    VirtualClock,
+)
+from .scheduler import Scheduler, SchedulerMark
 from .sync import TokenFactory, sync_order
 from .verify import (
     VerificationResult,
@@ -48,10 +58,19 @@ __all__ = [
     "compile_workflow",
     "CompiledWorkflow",
     "Scheduler",
+    "SchedulerMark",
     "WorkflowEngine",
     "ExecutionReport",
     "first_strategy",
     "random_strategy",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "ChaosOracle",
+    "FaultInjected",
+    "FailureRecord",
+    "RerouteRecord",
+    "VirtualClock",
+    "SystemClock",
     "is_consistent",
     "verify_property",
     "VerificationResult",

@@ -7,26 +7,61 @@ each fired event asks the :class:`~repro.db.oracle.TransitionOracle` to
 perform the corresponding elementary update against a
 :class:`~repro.db.state.Database`. Transition conditions
 (:class:`~repro.ctr.formulas.Test` nodes) are evaluated against the live
-database, and failure atomicity — which "is built into CTR semantics" — is
-provided by rolling the database back to its initial snapshot when an
-activity fails.
+database.
+
+Failure handling is layered (policies live in
+:mod:`repro.core.resilience`):
+
+1. **retry** — each activity runs under its
+   :class:`~repro.core.resilience.RetryPolicy`: failed (or timed-out)
+   attempts are rolled back and retried with fixed/exponential backoff on
+   the engine's injectable clock;
+2. **failover** — when an activity fails permanently, the engine consults
+   the compiled goal for a ``∨``-alternative path that avoids the dead
+   event (:meth:`~repro.core.scheduler.Scheduler.viable_events` — the
+   compiled goal encodes *all* legal continuations, including the ones
+   needed when the happy path dies), rolls the database back to the
+   nearest viable choice-point snapshot, and reroutes.  Saga goals
+   (:mod:`repro.core.saga`) compensate through exactly this mechanism:
+   the ``abort`` branch is the alternative;
+3. **atomic abort** — when no alternative exists anywhere, the database
+   (including its event log) is restored to the pre-run snapshot and the
+   error is re-raised: the paper's "failure atomicity is built into CTR
+   semantics".
+
+Restore points are journaled only at *choice points* (steps with more than
+one eligible event): between choice points every step is forced, so no
+alternative can open up there — which keeps the happy-path overhead of the
+resilience layer near zero (benchmarked in
+``benchmarks/bench_resilience.py``).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from ..ctr.formulas import Test
 from ..db.oracle import TransitionOracle
 from ..db.state import Database
-from ..errors import ExecutionError, SchedulingError
+from ..errors import RetryExhaustedError, SchedulingError, TimeoutError_
 from .compiler import CompiledWorkflow
+from .resilience import (
+    Clock,
+    FailureRecord,
+    RerouteRecord,
+    ResiliencePolicy,
+    VirtualClock,
+)
+from .scheduler import SchedulerMark
 
 __all__ = ["WorkflowEngine", "ExecutionReport", "first_strategy", "random_strategy"]
 
 Strategy = Callable[[frozenset[str], Database], str]
+
+Snapshot = dict
+_RestorePoint = tuple[SchedulerMark, Snapshot]
 
 
 def first_strategy(eligible: frozenset[str], db: Database) -> str:
@@ -46,14 +81,67 @@ def random_strategy(seed: int | None = None) -> Strategy:
 
 @dataclass(frozen=True)
 class ExecutionReport:
-    """Outcome of one engine run."""
+    """Outcome of one engine run, with structured resilience accounting.
+
+    ``attempts`` maps each executed event to how many times its update ran
+    (replays after a reroute count too); ``failures`` records every failed
+    attempt that the run survived; ``reroutes`` every choice-branch
+    failover taken; ``elapsed`` the run's duration on the engine clock
+    (virtual seconds under the default
+    :class:`~repro.core.resilience.VirtualClock`, which advances only on
+    backoff sleeps and injected latency).
+    """
 
     schedule: tuple[str, ...]
     database: Database
     completed: bool
+    attempts: Mapping[str, int] = field(default_factory=dict)
+    failures: tuple[FailureRecord, ...] = ()
+    reroutes: tuple[RerouteRecord, ...] = ()
+    elapsed: float = 0.0
 
     def __bool__(self) -> bool:
         return self.completed
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(self.attempts.values())
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first, summed over events."""
+        return sum(n - 1 for n in self.attempts.values() if n > 1)
+
+    @property
+    def failures_survived(self) -> int:
+        return len(self.failures)
+
+    def summary(self) -> str:
+        """A human-readable resilience summary; empty for untroubled runs."""
+        if not self.failures and not self.reroutes and not self.retries:
+            return ""
+        lines = [
+            f"resilience: {self.total_attempts} attempts over "
+            f"{len(self.attempts)} events, {self.failures_survived} failure(s) "
+            f"survived, {len(self.reroutes)} reroute(s), "
+            f"{self.elapsed:g}s on the engine clock"
+        ]
+        retried = {e: n for e, n in sorted(self.attempts.items()) if n > 1}
+        if retried:
+            lines.append(
+                "  retried: " + ", ".join(f"{e} x{n}" for e, n in retried.items())
+            )
+        for reroute in self.reroutes:
+            dropped = (
+                " discarding " + ", ".join(reroute.discarded)
+                if reroute.discarded
+                else ""
+            )
+            lines.append(
+                f"  reroute: {reroute.failed_event!r} died; resumed from "
+                f"schedule position {reroute.resumed_depth}{dropped}"
+            )
+        return "\n".join(lines)
 
 
 class WorkflowEngine:
@@ -65,11 +153,19 @@ class WorkflowEngine:
         A consistent :class:`~repro.core.compiler.CompiledWorkflow`.
     oracle:
         Maps event names to elementary updates; unregistered events just
-        log themselves (assumption (2)).
+        log themselves (assumption (2)). A
+        :class:`~repro.core.resilience.ChaosOracle` drops in here.
     db:
         The initial database state (fresh and empty by default).
     strategy:
         Chooses among eligible events; :func:`first_strategy` by default.
+    policies:
+        Per-activity :class:`~repro.core.resilience.RetryPolicy` registry;
+        the default registry retries nothing (seed-engine semantics).
+    clock:
+        Time source for backoff and timeouts; a deterministic
+        :class:`~repro.core.resilience.VirtualClock` by default (pass
+        :class:`~repro.core.resilience.SystemClock` for wall-clock).
     """
 
     def __init__(
@@ -78,13 +174,23 @@ class WorkflowEngine:
         oracle: TransitionOracle | None = None,
         db: Database | None = None,
         strategy: Strategy | None = None,
+        policies: ResiliencePolicy | None = None,
+        clock: Clock | None = None,
     ):
         compiled.require_consistent()
         self.compiled = compiled
         self.oracle = oracle or TransitionOracle()
         self.db = db or Database()
         self.strategy = strategy or first_strategy
+        # Not `or`: an empty registry is falsy but may carry a default policy.
+        self.policies = policies if policies is not None else ResiliencePolicy()
+        self.clock: Clock = clock or VirtualClock()
         self._scheduler = compiled.scheduler(test_hook=self._evaluate_test)
+        self._dead: set[str] = set()
+        self._attempts: dict[str, int] = {}
+        self._failures: list[FailureRecord] = []
+        self._reroutes: list[RerouteRecord] = []
+        self._journal: list[_RestorePoint] = []
 
     # -- transition conditions -------------------------------------------------
 
@@ -95,40 +201,180 @@ class WorkflowEngine:
 
     # -- stepping ----------------------------------------------------------------
 
+    @property
+    def dead_events(self) -> frozenset[str]:
+        """Events that failed permanently and were routed around."""
+        return frozenset(self._dead)
+
     def eligible(self) -> frozenset[str]:
-        """Events that may start now, under the current database state."""
+        """Events that may start now, under the current database state.
+
+        Once an event has died permanently, branches that cannot complete
+        without it are filtered out, so callers are only ever offered
+        events that keep the run viable.
+        """
+        if self._dead:
+            return self._scheduler.viable_events(frozenset(self._dead))
         return self._scheduler.eligible()
 
     def fire(self, event: str) -> None:
-        """Fire one event: advance the schedule and apply the update."""
+        """Fire one event: advance the schedule and apply the update.
+
+        The event's retry policy applies; on permanent failure the
+        scheduler is rewound (the event did not happen) and
+        :class:`~repro.errors.RetryExhaustedError` is raised — no failover
+        is attempted on this manual path, use :meth:`run` for that.
+        """
+        eligible = self._scheduler.eligible()
+        mark = self._scheduler.mark()
         self._scheduler.fire(event)
         try:
-            self.oracle.execute(event, self.db)
-        except Exception as exc:  # noqa: BLE001 - any activity failure aborts
-            raise ExecutionError(event, exc) from exc
+            self._attempt(event, eligible)
+        except RetryExhaustedError:
+            self._scheduler.rewind(mark)
+            raise
 
     def run(self, max_steps: int = 100_000) -> ExecutionReport:
-        """Drive the workflow to completion with failure atomicity.
+        """Drive the workflow to completion with retry, failover, and atomicity.
 
-        On activity failure the database (including its event log) is
-        rolled back to the pre-run state and the error is re-raised.
+        On any abnormal exit — a permanent activity failure with no viable
+        alternative, a stuck scheduler, or the step limit — the database
+        (including its event log) is rolled back to the pre-run state and
+        the error is re-raised.
         """
+        started = self.clock.now()
+        self._journal.clear()  # restore points from an earlier run are stale
         checkpoint = self.db.snapshot()
+        origin = self._scheduler.mark()
         try:
-            for _ in range(max_steps):
-                events = self.eligible()
-                if not events:
-                    if self._scheduler.can_finish():
-                        return ExecutionReport(
-                            schedule=self._scheduler.history,
-                            database=self.db,
-                            completed=True,
-                        )
-                    raise SchedulingError(
-                        "workflow is stuck: no eligible event and cannot finish"
-                    )
-                self.fire(self.strategy(events, self.db))
-            raise SchedulingError(f"workflow did not finish within {max_steps} steps")
-        except ExecutionError:
+            self._drive(max_steps, checkpoint, origin)
+        except Exception:
             self.db.restore(checkpoint)
             raise
+        return ExecutionReport(
+            schedule=self._scheduler.history,
+            database=self.db,
+            completed=True,
+            attempts=dict(self._attempts),
+            failures=tuple(self._failures),
+            reroutes=tuple(self._reroutes),
+            elapsed=self.clock.now() - started,
+        )
+
+    # -- the drive loop ----------------------------------------------------------
+
+    def _drive(self, max_steps: int, checkpoint: Snapshot,
+               origin: SchedulerMark) -> None:
+        scheduler = self._scheduler
+        strategy = self.strategy
+        for _ in range(max_steps):
+            if self._dead:
+                events = scheduler.viable_events(frozenset(self._dead))
+            else:
+                events = scheduler.eligible()
+            if not events:
+                if scheduler.can_finish():
+                    return
+                raise SchedulingError(
+                    "workflow is stuck: no eligible event and cannot finish"
+                )
+            event = strategy(events, self.db)
+            if len(events) > 1:
+                # A choice point: journal a restore target for failover.
+                self._journal.append((scheduler.mark(), self.db.snapshot()))
+            scheduler.fire(event)
+            try:
+                self._attempt(event, events)
+            except RetryExhaustedError as exc:
+                self._failover(exc, checkpoint, origin)
+        raise SchedulingError(f"workflow did not finish within {max_steps} steps")
+
+    def _attempt(self, event: str, eligible: frozenset[str]) -> None:
+        """Run ``event``'s update under its retry policy (per-attempt atomic)."""
+        policy = self.policies.policy_for(event)
+        attempts = self._attempts
+        attempts[event] = attempts.get(event, 0) + 1
+        if not policy.needs_attempt_snapshot:
+            # Single attempt, no timeout: no snapshot, no clock, no loop —
+            # this keeps the fault-free happy path within the overhead
+            # budget (see benchmarks/bench_resilience.py R1).
+            try:
+                self.oracle.execute(event, self.db)
+                return
+            except Exception as exc:  # noqa: BLE001 - any activity failure counts
+                self._failures.append(
+                    FailureRecord(event, 1, type(exc).__name__, str(exc))
+                )
+                raise RetryExhaustedError(
+                    event, 1, exc,
+                    schedule=self._scheduler.history,
+                    eligible=eligible,
+                ) from exc
+        snapshot = self.db.snapshot()
+        last: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                attempts[event] = attempts.get(event, 0) + 1
+            begin = self.clock.now()
+            try:
+                self.oracle.execute(event, self.db)
+                elapsed = self.clock.now() - begin
+                if policy.timeout is not None and elapsed > policy.timeout:
+                    raise TimeoutError_(event, elapsed, policy.timeout, attempt)
+                return
+            except Exception as exc:  # noqa: BLE001 - any activity failure counts
+                last = exc
+                self._failures.append(
+                    FailureRecord(event, attempt, type(exc).__name__, str(exc))
+                )
+                self.db.restore(snapshot)
+                if attempt < policy.max_attempts:
+                    self.clock.sleep(policy.delay(attempt))
+        raise RetryExhaustedError(
+            event,
+            policy.max_attempts,
+            last,
+            schedule=self._scheduler.history,
+            eligible=eligible,
+        )
+
+    def _failover(self, exc: RetryExhaustedError, checkpoint: Snapshot,
+                  origin: SchedulerMark) -> None:
+        """Reroute around a permanently-failed event, or abort atomically.
+
+        Walks the journaled choice points from newest to oldest (then the
+        run origin), looking for the latest state from which the compiled
+        goal can still complete without any dead event. Found: restore the
+        database to that snapshot, rewind the scheduler, record the
+        reroute, and let :meth:`_drive` continue — the viability-filtered
+        eligible set now steers it down the surviving ``∨``-branch. Not
+        found: re-raise with the reroute diagnostics attached (the caller
+        restores the pre-run checkpoint).
+        """
+        failed = exc.activity
+        self._dead.add(failed)
+        avoid = frozenset(self._dead)
+        failed_history = self._scheduler.history  # ends with the failed event
+        for index in range(len(self._journal) - 1, -2, -1):
+            mark, snapshot = self._journal[index] if index >= 0 else (origin, checkpoint)
+            self._scheduler.rewind(mark)
+            if self._scheduler.viable(avoid):
+                self.db.restore(snapshot)
+                del self._journal[max(index, 0):]
+                self._reroutes.append(
+                    RerouteRecord(
+                        failed_event=failed,
+                        discarded=failed_history[mark.depth:-1],
+                        resumed_depth=mark.depth,
+                    )
+                )
+                return
+        self._scheduler.rewind(origin)
+        raise RetryExhaustedError(
+            failed,
+            exc.attempts,
+            exc.cause,
+            schedule=failed_history,
+            eligible=exc.eligible,
+            dead=avoid,
+        ) from exc.cause

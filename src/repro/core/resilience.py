@@ -1,0 +1,352 @@
+"""Resilience policies and deterministic fault injection for the engine.
+
+The paper's pitch is that one formalism covers *specifying, analyzing and
+executing* workflows — and its own examples (the ``∨`` alternatives of
+Section 2, the saga encoding of Section 7) are about surviving failure.
+This module supplies the run-time half of that story:
+
+* :class:`RetryPolicy` / :class:`ResiliencePolicy` — per-activity retry
+  budgets with fixed or exponential backoff and a per-attempt timeout,
+  looked up by the engine before every step;
+* :class:`Clock` / :class:`VirtualClock` / :class:`SystemClock` — an
+  injectable time source, so backoff sleeps and timeout detection are
+  deterministic under test and real under deployment;
+* :class:`ChaosOracle` — a deterministic fault-injection wrapper over
+  :class:`~repro.db.oracle.TransitionOracle` that fails chosen events on
+  chosen attempts (by name, schedule index, or seeded probability) and can
+  inject latency, so every recovery path the compiled goal encodes is
+  testable and benchmarkable;
+* :class:`FailureRecord` / :class:`RerouteRecord` — the structured
+  accounting that ends up on :class:`~repro.core.engine.ExecutionReport`.
+
+The engine's failover logic itself lives in
+:mod:`repro.core.engine`; the branch-viability query it consults is
+:meth:`repro.core.scheduler.Scheduler.viable_events`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..db.oracle import TransitionOracle
+from ..db.state import Database
+from ..errors import ReproError
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "SystemClock",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "ChaosOracle",
+    "FaultInjected",
+    "FailureRecord",
+    "RerouteRecord",
+]
+
+
+# -- time ---------------------------------------------------------------------
+
+
+class Clock(Protocol):
+    """The engine's time source: monotonic seconds plus a sleep."""
+
+    def now(self) -> float: ...
+
+    def sleep(self, seconds: float) -> None: ...
+
+
+class VirtualClock:
+    """A deterministic clock: ``sleep`` advances time instantly.
+
+    This is the engine's default, so retry backoff and timeout budgets are
+    exact and tests run in zero wall-clock time. ``ExecutionReport.elapsed``
+    then reports *virtual* seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Alias of :meth:`sleep`, for test readability."""
+        self.sleep(seconds)
+
+
+class SystemClock:
+    """Wall-clock time (``time.monotonic`` / ``time.sleep``) for deployment."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+# -- retry policies -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How one activity may be retried.
+
+    ``max_attempts`` bounds the total number of tries.  Between failed
+    attempts the engine sleeps ``base_delay * multiplier**(attempt - 1)``
+    seconds, capped at ``max_delay`` — ``multiplier=1`` is fixed backoff,
+    ``multiplier>1`` exponential.  ``timeout`` is a per-attempt budget on
+    the engine's clock; an attempt that overruns it counts as failed (and
+    is rolled back) even though the update returned.
+
+    >>> RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0).delay(3)
+    0.4
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.0
+    multiplier: float = 1.0
+    max_delay: float | None = None
+    timeout: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    @classmethod
+    def fixed(cls, max_attempts: int, delay: float = 0.0,
+              timeout: float | None = None) -> "RetryPolicy":
+        """Retry with a constant delay between attempts."""
+        return cls(max_attempts=max_attempts, base_delay=delay, timeout=timeout)
+
+    @classmethod
+    def exponential(cls, max_attempts: int, base_delay: float,
+                    multiplier: float = 2.0, max_delay: float | None = None,
+                    timeout: float | None = None) -> "RetryPolicy":
+        """Retry with exponentially growing delays."""
+        return cls(max_attempts=max_attempts, base_delay=base_delay,
+                   multiplier=multiplier, max_delay=max_delay, timeout=timeout)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off after failed attempt number ``attempt`` (1-based)."""
+        delay = self.base_delay * self.multiplier ** (attempt - 1)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    @property
+    def needs_attempt_snapshot(self) -> bool:
+        """Must the engine checkpoint the database before each attempt?
+
+        Only retried or timed activities need per-attempt atomicity; the
+        default single-attempt policy keeps the happy path snapshot-free
+        (permanent failures are cleaned up by the failover/abort restore).
+        """
+        return self.max_attempts > 1 or self.timeout is not None
+
+
+class ResiliencePolicy:
+    """Registry mapping event names to :class:`RetryPolicy` objects.
+
+    Events without a registered policy get ``default`` (one attempt, no
+    timeout, unless overridden), preserving the seed engine's semantics.
+
+    >>> policies = ResiliencePolicy()
+    >>> policies.register("charge", RetryPolicy.exponential(3, 0.1))
+    >>> policies.policy_for("charge").max_attempts
+    3
+    >>> policies.policy_for("anything_else").max_attempts
+    1
+    """
+
+    def __init__(self, default: RetryPolicy | None = None):
+        self._policies: dict[str, RetryPolicy] = {}
+        self.default = default or RetryPolicy()
+
+    def register(self, event: str, policy: RetryPolicy) -> None:
+        self._policies[event] = policy
+
+    def policy_for(self, event: str) -> RetryPolicy:
+        return self._policies.get(event, self.default)
+
+    def __contains__(self, event: str) -> bool:
+        return event in self._policies
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+
+# -- structured failure accounting -------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FailureRecord:
+    """One failed activity attempt, as observed by the engine."""
+
+    event: str
+    attempt: int
+    kind: str
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class RerouteRecord:
+    """One successful choice-branch failover.
+
+    ``failed_event`` died permanently; the engine rolled back to schedule
+    position ``resumed_depth``, discarding the already-committed events in
+    ``discarded`` (their database effects were undone with the snapshot),
+    and continued down a ``∨``-alternative that avoids the dead event.
+    """
+
+    failed_event: str
+    discarded: tuple[str, ...]
+    resumed_depth: int
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+class FaultInjected(ReproError):
+    """The failure raised by :class:`ChaosOracle` on an injected fault."""
+
+    def __init__(self, event: str, attempt: int, step: int, reason: str):
+        self.event = event
+        self.attempt = attempt
+        self.step = step
+        super().__init__(
+            f"injected fault ({reason}) in {event!r} "
+            f"(attempt {attempt}, schedule index {step})"
+        )
+
+
+class ChaosOracle:
+    """A deterministic fault-injecting wrapper over a transition oracle.
+
+    Faults can be scheduled three ways, freely combined:
+
+    * :meth:`fail_event` — by event name, for the first ``attempts`` tries
+      (``attempts=None`` fails every try: a permanently dead activity);
+    * :meth:`fail_at` — by schedule index: the *i*-th distinct event the
+      run executes (first attempts establish the numbering, so retries and
+      post-failover replays of an event keep its original index);
+    * :meth:`fail_rate` — by seeded probability per attempt, reproducible
+      run to run.
+
+    :meth:`add_latency` makes an event consume clock time, which is how
+    per-attempt timeouts are exercised deterministically. ``corrupt=True``
+    on :meth:`fail_event` applies the real update *before* raising, leaving
+    a dirty state the engine must roll back — the hostile case for
+    per-attempt atomicity.
+
+    The wrapper satisfies the :class:`~repro.db.oracle.TransitionOracle`
+    interface (``register``/``knows``/``execute``/``successors``), so it
+    drops into :class:`~repro.core.engine.WorkflowEngine` unchanged.
+    """
+
+    def __init__(self, inner: TransitionOracle | None = None,
+                 clock: Clock | None = None, seed: int | None = None):
+        self.inner = inner or TransitionOracle()
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self._rate = 0.0
+        self._fail_events: dict[str, int | None] = {}
+        self._corrupt: set[str] = set()
+        self._fail_indices: dict[int, int | None] = {}
+        self._latencies: dict[str, float] = {}
+        self._attempts: dict[str, int] = {}
+        self._step_of: dict[str, int] = {}
+
+    # -- fault plan ----------------------------------------------------------
+
+    def fail_event(self, event: str, attempts: int | None = None,
+                   corrupt: bool = False) -> "ChaosOracle":
+        """Fail ``event``'s first ``attempts`` tries (``None`` = every try)."""
+        self._fail_events[event] = attempts
+        if corrupt:
+            self._corrupt.add(event)
+        return self
+
+    def fail_at(self, index: int, attempts: int | None = None) -> "ChaosOracle":
+        """Fail the event at schedule index ``index`` (0-based, ``None`` = always)."""
+        self._fail_indices[index] = attempts
+        return self
+
+    def fail_rate(self, rate: float) -> "ChaosOracle":
+        """Fail any attempt with probability ``rate`` (seeded, deterministic)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        self._rate = rate
+        return self
+
+    def add_latency(self, event: str, seconds: float) -> "ChaosOracle":
+        """Make every attempt of ``event`` consume ``seconds`` of clock time."""
+        if self.clock is None:
+            raise ValueError("latency injection requires a clock")
+        self._latencies[event] = seconds
+        return self
+
+    def reset(self) -> None:
+        """Forget attempt counters and schedule numbering (not the fault plan)."""
+        self._attempts.clear()
+        self._step_of.clear()
+
+    # -- TransitionOracle interface ------------------------------------------
+
+    def register(self, name, update) -> None:
+        self.inner.register(name, update)
+
+    def knows(self, name: str) -> bool:
+        return self.inner.knows(name)
+
+    def successors(self, name: str, db: Database):
+        return self.inner.successors(name, db)
+
+    def execute(self, name: str, db: Database) -> None:
+        attempt = self._attempts.get(name, 0) + 1
+        self._attempts[name] = attempt
+        step = self._step_of.setdefault(name, len(self._step_of))
+
+        latency = self._latencies.get(name)
+        if latency is not None and self.clock is not None:
+            self.clock.sleep(latency)
+
+        reason = self._fault_reason(name, step, attempt)
+        if reason is not None:
+            if name in self._corrupt:
+                # Hostile mode: do the real work, then fail anyway.
+                self.inner.execute(name, db)
+            raise FaultInjected(name, attempt, step, reason)
+        self.inner.execute(name, db)
+
+    # -- internals -----------------------------------------------------------
+
+    def _fault_reason(self, name: str, step: int, attempt: int) -> str | None:
+        if name in self._fail_events:
+            budget = self._fail_events[name]
+            if budget is None or attempt <= budget:
+                return "by event"
+        if step in self._fail_indices:
+            budget = self._fail_indices[step]
+            if budget is None or attempt <= budget:
+                return "by schedule index"
+        if self._rate and self._rng.random() < self._rate:
+            return "by rate"
+        return None

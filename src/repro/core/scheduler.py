@@ -19,6 +19,7 @@ original graph — the paper's scheduling bound.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from ..ctr.formulas import Goal
@@ -26,7 +27,22 @@ from ..ctr.machine import Config, Machine
 from ..errors import IneligibleEventError, SchedulingError
 from ..ctr.traces import TooManyTracesError
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "SchedulerMark"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerMark:
+    """An O(1) mid-run checkpoint of a :class:`Scheduler`.
+
+    Captures the (immutable) configuration set by reference plus the
+    history depth; :meth:`Scheduler.rewind` restores both. Unlike
+    :meth:`Scheduler.snapshot` this is not serializable — it is the cheap
+    in-memory restore point the engine journals at every choice point for
+    choice-branch failover.
+    """
+
+    state: frozenset[Config]
+    depth: int
 
 
 def _externalize(goal: Goal) -> Goal:
@@ -73,6 +89,8 @@ class Scheduler:
         self._initial: frozenset[Config] = frozenset((self._machine.initial(),))
         self._state = self._initial
         self._history: list[str] = []
+        self._viability_key: frozenset[str] | None = None
+        self._viability_memo: dict[Config, bool] = {}
 
     # -- introspection -------------------------------------------------------
 
@@ -118,6 +136,95 @@ class Scheduler:
         """Return to the initial state."""
         self._state = self._initial
         self._history = []
+
+    # -- marks (cheap mid-run restore points) ----------------------------------
+
+    def mark(self) -> SchedulerMark:
+        """An O(1) restore point for :meth:`rewind` (state ref + history depth)."""
+        return SchedulerMark(self._state, len(self._history))
+
+    def rewind(self, mark: SchedulerMark) -> None:
+        """Return to a mark taken earlier on this run, truncating the history."""
+        self._state = mark.state
+        del self._history[mark.depth:]
+
+    # -- branch viability ------------------------------------------------------
+
+    def viable(self, avoid: frozenset[str] = frozenset()) -> bool:
+        """Can the workflow still complete without ever firing ``avoid``?
+
+        This is the failover query: when an activity dies permanently, the
+        engine asks — from successively earlier restore points — whether the
+        compiled goal keeps a ``∨``-alternative path around the dead events.
+        With transition conditions (:class:`~repro.ctr.formulas.Test`
+        nodes) the answer is evaluated against the *current* database, so
+        it is exact for static goals and a sound approximation otherwise.
+        """
+        memo = self._viability(avoid)
+        return any(self._config_viable(c, avoid, memo) for c in self._state)
+
+    def viable_events(self, avoid: frozenset[str] = frozenset()) -> frozenset[str]:
+        """Eligible events that keep completion possible while avoiding ``avoid``.
+
+        A subset of :meth:`eligible`: events in ``avoid`` are excluded, and
+        so is any event all of whose successor configurations dead-end
+        against the avoided set. Firing only returned events can therefore
+        never strand the run on a branch that needs a dead activity.
+        """
+        memo = self._viability(avoid)
+        out: set[str] = set()
+        for config in self._state:
+            for event, targets in self._machine.successors(config).items():
+                if event in avoid or event in out:
+                    continue
+                if any(self._config_viable(t, avoid, memo) for t in targets):
+                    out.add(event)
+        return frozenset(out)
+
+    def _viability(self, avoid: frozenset[str]) -> dict[Config, bool]:
+        """The memo table for ``avoid`` (reset whenever the avoided set changes)."""
+        if self._viability_key != avoid:
+            self._viability_key = avoid
+            self._viability_memo = {}
+        return self._viability_memo
+
+    def _config_viable(self, config: Config, avoid: frozenset[str],
+                       memo: dict[Config, bool]) -> bool:
+        cached = memo.get(config)
+        if cached is not None:
+            return cached
+        # Iterative memoized post-order DFS: schedules can be thousands of
+        # events deep, well past the recursion limit.
+        children: dict[Config, list[Config]] = {}
+        expanding: set[Config] = set()
+        stack: list[Config] = [config]
+        while stack:
+            current = stack[-1]
+            if current in memo:
+                stack.pop()
+                continue
+            if current not in expanding:
+                expanding.add(current)
+                if self._machine.is_final(current):
+                    memo[current] = True
+                    stack.pop()
+                    continue
+                kids = [
+                    target
+                    for event, targets in self._machine.successors(current).items()
+                    if event not in avoid
+                    for target in targets
+                ]
+                children[current] = kids
+                pending = [k for k in kids if k not in memo and k not in expanding]
+                if pending:
+                    stack.extend(pending)
+                    continue
+            # Post-order visit: every decidable child is decided; children
+            # still expanding are on a cycle and count as non-viable.
+            memo[current] = any(memo.get(k, False) for k in children[current])
+            stack.pop()
+        return memo[config]
 
     # -- persistence -----------------------------------------------------------
 

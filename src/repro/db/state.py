@@ -32,6 +32,11 @@ class Database:
 
     def __init__(self) -> None:
         self._relations: dict[str, set[Tuple_]] = {}
+        # Per-relation frozen views, invalidated on mutation: successive
+        # snapshots only re-freeze the relations touched in between
+        # (partial snapshots), which is what makes the engine's mid-run
+        # restore-point journaling affordable.
+        self._frozen: dict[str, frozenset[Tuple_]] = {}
         self.log = EventLog()
 
     # -- elementary updates ----------------------------------------------------
@@ -39,12 +44,14 @@ class Database:
     def insert(self, relation: str, *values: Any) -> None:
         """Insert a tuple (idempotent, set semantics)."""
         self._relations.setdefault(relation, set()).add(tuple(values))
+        self._frozen.pop(relation, None)
 
     def delete(self, relation: str, *values: Any) -> None:
         """Delete a tuple if present (unconditional delete: always succeeds,
         leaving the state unchanged when the tuple is absent — the second
         kind of elementary update discussed in Section 2)."""
         self._relations.get(relation, set()).discard(tuple(values))
+        self._frozen.pop(relation, None)
 
     def delete_strict(self, relation: str, *values: Any) -> None:
         """Delete a tuple, failing when it is absent (the first kind of
@@ -54,10 +61,12 @@ class Database:
         if t not in rel:
             raise DatabaseError(f"cannot delete {t!r} from {relation!r}: not present")
         rel.discard(t)
+        self._frozen.pop(relation, None)
 
     def assign(self, relation: str, tuples: Iterator[Tuple_] | list[Tuple_]) -> None:
         """Relational assignment: replace the relation's contents wholesale."""
         self._relations[relation] = {tuple(t) for t in tuples}
+        self._frozen.pop(relation, None)
 
     # -- queries ----------------------------------------------------------------
 
@@ -78,7 +87,7 @@ class Database:
         return sorted(out)
 
     def relation(self, name: str) -> frozenset[Tuple_]:
-        return frozenset(self._relations.get(name, set()))
+        return self._freeze(name)
 
     @property
     def relation_names(self) -> frozenset[str]:
@@ -86,9 +95,26 @@ class Database:
 
     # -- snapshots ----------------------------------------------------------------
 
+    def _freeze(self, name: str) -> frozenset[Tuple_]:
+        """The cached immutable view of one relation (rebuilt only if dirty)."""
+        cached = self._frozen.get(name)
+        if cached is None:
+            cached = frozenset(self._relations.get(name, ()))
+            self._frozen[name] = cached
+        return cached
+
     def snapshot(self) -> dict[str, frozenset[Tuple_]]:
-        """An immutable copy of the current state (log position included)."""
-        snap = {name: frozenset(rows) for name, rows in self._relations.items() if rows}
+        """An immutable copy of the current state (log position included).
+
+        Partial: relations untouched since the previous snapshot reuse
+        their cached frozen view, so a sequence of snapshots costs time
+        proportional to the data actually changed between them, not to the
+        whole database.
+        """
+        snap: dict[str, frozenset[Tuple_]] = {}
+        for name, rows in self._relations.items():
+            if rows:
+                snap[name] = self._freeze(name)
         snap["__log__"] = self.log.snapshot()  # type: ignore[assignment]
         return snap
 
@@ -97,6 +123,11 @@ class Database:
         log_snap = snap["__log__"]
         self._relations = {
             name: set(rows) for name, rows in snap.items() if name != "__log__"
+        }
+        # The snapshot's frozensets are exact views of the restored state:
+        # seed the cache with them so the next snapshot is O(dirty) again.
+        self._frozen = {
+            name: rows for name, rows in snap.items() if name != "__log__"
         }
         self.log.restore(log_snap)  # type: ignore[arg-type]
 

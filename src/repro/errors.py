@@ -88,12 +88,81 @@ class IneligibleEventError(SchedulingError):
 
 
 class ExecutionError(ReproError):
-    """An activity failed at run time inside the workflow engine."""
+    """An activity failed at run time inside the workflow engine.
 
-    def __init__(self, activity: str, cause: BaseException):
+    Carries enough run context to diagnose an aborted run without
+    re-executing it: :attr:`schedule` is the partial schedule at failure
+    time (the failed activity last) and :attr:`eligible` the set of events
+    that were eligible when the failed step was chosen. Both are ``None``
+    when the error is raised outside a run (e.g. a manual :meth:`fire`).
+    """
+
+    def __init__(
+        self,
+        activity: str,
+        cause: BaseException | None,
+        message: str | None = None,
+        schedule: tuple[str, ...] | None = None,
+        eligible: frozenset[str] | None = None,
+    ):
         self.activity = activity
         self.cause = cause
-        super().__init__(f"activity {activity!r} failed: {cause}")
+        self.schedule = tuple(schedule) if schedule is not None else None
+        self.eligible = frozenset(eligible) if eligible is not None else None
+        super().__init__(message or f"activity {activity!r} failed: {cause}")
+
+
+class RetryExhaustedError(ExecutionError):
+    """An activity failed permanently: its retry policy ran out of attempts.
+
+    Raised by the engine after the configured ``max_attempts`` all failed
+    and — when raised out of :meth:`WorkflowEngine.run` — after no
+    ``∨``-alternative path avoiding the dead event(s) was found either.
+    :attr:`dead` lists the permanently-failed events at that point, so the
+    message doubles as a reroute diagnostic.
+    """
+
+    def __init__(
+        self,
+        activity: str,
+        attempts: int,
+        cause: BaseException | None,
+        schedule: tuple[str, ...] | None = None,
+        eligible: frozenset[str] | None = None,
+        dead: frozenset[str] = frozenset(),
+    ):
+        self.attempts = attempts
+        self.dead = frozenset(dead)
+        noun = "attempt" if attempts == 1 else "attempts"
+        message = f"activity {activity!r} failed permanently after {attempts} {noun}: {cause}"
+        if self.dead:
+            message += (
+                "; no alternative branch avoids the dead event(s) "
+                + ", ".join(sorted(self.dead))
+            )
+        super().__init__(activity, cause, message=message,
+                         schedule=schedule, eligible=eligible)
+
+
+class TimeoutError_(ReproError):
+    """An activity attempt overran its per-attempt timeout budget.
+
+    The engine detects the overrun on its (injectable) clock after the
+    activity returns — it cannot preempt a running update — and treats the
+    attempt as failed, rolling its effects back. Named with a trailing
+    underscore to avoid shadowing the builtin ``TimeoutError`` (same
+    convention as :class:`RecursionError_`).
+    """
+
+    def __init__(self, activity: str, elapsed: float, timeout: float, attempt: int):
+        self.activity = activity
+        self.elapsed = elapsed
+        self.timeout = timeout
+        self.attempt = attempt
+        super().__init__(
+            f"activity {activity!r} attempt {attempt} took {elapsed:g}s, "
+            f"over its {timeout:g}s timeout"
+        )
 
 
 class DatabaseError(ReproError):

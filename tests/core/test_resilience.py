@@ -1,0 +1,186 @@
+"""Tests for the resilience layer: policies, clocks, and fault injection."""
+
+import pytest
+
+from repro.core.resilience import (
+    ChaosOracle,
+    FaultInjected,
+    ResiliencePolicy,
+    RetryPolicy,
+    SystemClock,
+    VirtualClock,
+)
+from repro.db.oracle import TransitionOracle, insert_op
+from repro.db.state import Database
+
+
+class TestClocks:
+    def test_virtual_clock_advances_on_sleep(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.sleep(2.5)
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_virtual_clock_rejects_negative_sleep(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+    def test_system_clock_is_monotonic(self):
+        clock = SystemClock()
+        before = clock.now()
+        clock.sleep(0)  # must not actually block
+        assert clock.now() >= before
+
+
+class TestRetryPolicy:
+    def test_default_is_single_attempt(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert not policy.needs_attempt_snapshot
+
+    def test_fixed_backoff(self):
+        policy = RetryPolicy.fixed(3, delay=0.2)
+        assert [policy.delay(a) for a in (1, 2)] == [0.2, 0.2]
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy.exponential(5, base_delay=0.1, multiplier=2.0,
+                                         max_delay=0.3)
+        assert [round(policy.delay(a), 3) for a in (1, 2, 3, 4)] == [
+            0.1, 0.2, 0.3, 0.3]
+
+    def test_timeout_forces_snapshotting(self):
+        assert RetryPolicy(timeout=1.0).needs_attempt_snapshot
+        assert RetryPolicy(max_attempts=2).needs_attempt_snapshot
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1},
+            {"multiplier": 0},
+            {"max_delay": -0.5},
+            {"timeout": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestResiliencePolicy:
+    def test_registry_lookup_and_default(self):
+        policies = ResiliencePolicy()
+        charge = RetryPolicy.exponential(3, 0.1)
+        policies.register("charge", charge)
+        assert policies.policy_for("charge") is charge
+        assert policies.policy_for("other").max_attempts == 1
+        assert "charge" in policies and "other" not in policies
+        assert len(policies) == 1
+
+    def test_custom_default(self):
+        policies = ResiliencePolicy(default=RetryPolicy(max_attempts=4))
+        assert policies.policy_for("anything").max_attempts == 4
+
+
+class TestChaosOracle:
+    def test_fail_event_for_first_attempts(self):
+        chaos = ChaosOracle()
+        chaos.fail_event("pay", attempts=2)
+        db = Database()
+        for expected_attempt in (1, 2):
+            with pytest.raises(FaultInjected) as info:
+                chaos.execute("pay", db)
+            assert info.value.attempt == expected_attempt
+        chaos.execute("pay", db)  # third attempt succeeds
+        assert db.log.events() == ("pay",)
+
+    def test_fail_event_permanently(self):
+        chaos = ChaosOracle()
+        chaos.fail_event("pay")
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                chaos.execute("pay", Database())
+
+    def test_fail_at_schedule_index(self):
+        chaos = ChaosOracle()
+        chaos.fail_at(1)
+        db = Database()
+        chaos.execute("a", db)  # index 0
+        with pytest.raises(FaultInjected) as info:
+            chaos.execute("b", db)  # index 1
+        assert info.value.step == 1
+        chaos.execute("c", db)  # index 2
+
+    def test_retries_keep_their_schedule_index(self):
+        chaos = ChaosOracle()
+        chaos.fail_at(0, attempts=1)
+        db = Database()
+        with pytest.raises(FaultInjected):
+            chaos.execute("a", db)
+        chaos.execute("a", db)  # attempt 2 of index 0: succeeds
+        # A later *new* event gets index 1, not a recycled 0.
+        chaos.execute("b", db)
+        assert db.log.events() == ("a", "b")
+
+    def test_fail_rate_is_deterministic(self):
+        def outcomes(seed):
+            chaos = ChaosOracle(seed=seed)
+            chaos.fail_rate(0.5)
+            out = []
+            for i in range(20):
+                try:
+                    chaos.execute(f"e{i}", Database())
+                    out.append(True)
+                except FaultInjected:
+                    out.append(False)
+            return out
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)  # different seed, different faults
+        assert any(outcomes(7)) and not all(outcomes(7))
+
+    def test_fail_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosOracle().fail_rate(1.5)
+
+    def test_latency_consumes_clock_time(self):
+        clock = VirtualClock()
+        chaos = ChaosOracle(clock=clock)
+        chaos.add_latency("slow", 2.0)
+        chaos.execute("slow", Database())
+        assert clock.now() == 2.0
+
+    def test_latency_requires_clock(self):
+        with pytest.raises(ValueError):
+            ChaosOracle().add_latency("slow", 1.0)
+
+    def test_corrupt_fault_mutates_before_raising(self):
+        inner = TransitionOracle()
+        inner.register("pay", insert_op("paid", 1))
+        chaos = ChaosOracle(inner)
+        chaos.fail_event("pay", attempts=1, corrupt=True)
+        db = Database()
+        with pytest.raises(FaultInjected):
+            chaos.execute("pay", db)
+        # The dirty write went through: callers must roll it back.
+        assert db.contains("paid", 1)
+
+    def test_delegates_registry_interface(self):
+        chaos = ChaosOracle()
+        chaos.register("a", insert_op("t", 1))
+        assert chaos.knows("a") and not chaos.knows("b")
+        db = Database()
+        successors = chaos.successors("a", db)
+        assert len(successors) == 1 and successors[0].contains("t", 1)
+        assert not db.contains("t", 1)
+
+    def test_reset_clears_counters_not_plan(self):
+        chaos = ChaosOracle()
+        chaos.fail_event("a", attempts=1)
+        with pytest.raises(FaultInjected):
+            chaos.execute("a", Database())
+        chaos.execute("a", Database())  # attempt 2: fine
+        chaos.reset()
+        with pytest.raises(FaultInjected):  # counters back to attempt 1
+            chaos.execute("a", Database())

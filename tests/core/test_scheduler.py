@@ -8,7 +8,7 @@ from repro.constraints.satisfy import satisfies
 from repro.core.compiler import compile_workflow
 from repro.core.scheduler import Scheduler
 from repro.constraints.algebra import order
-from repro.ctr.formulas import Isolated, atoms, event_names
+from repro.ctr.formulas import Atom, Isolated, atoms, event_names
 from repro.ctr.traces import traces
 from repro.errors import IneligibleEventError
 from tests.conftest import constraints_over, unique_event_goals
@@ -68,6 +68,90 @@ class TestStepping:
         assert s.eligible() == {"b"}  # block is running, c must wait
         s.fire("b")
         assert s.eligible() == {"c"}
+
+
+class TestMarkRewind:
+    def test_rewind_restores_state_and_history(self):
+        s = Scheduler((A | B) >> (C + D))
+        s.fire("a")
+        mark = s.mark()
+        s.fire("b")
+        s.fire("c")
+        assert s.history == ("a", "b", "c")
+        s.rewind(mark)
+        assert s.history == ("a",)
+        assert s.eligible() == {"b"}
+        s.fire("b")
+        assert s.eligible() == {"c", "d"}
+
+    def test_rewind_to_origin(self):
+        s = Scheduler(A >> B)
+        origin = s.mark()
+        s.fire("a")
+        s.rewind(origin)
+        assert s.history == ()
+        assert s.eligible() == {"a"}
+
+
+class TestViability:
+    def test_viable_with_empty_avoid_everywhere(self):
+        s = Scheduler((A | B) >> (C + D))
+        assert s.viable(frozenset())
+        assert s.viable_events(frozenset()) == s.eligible()
+
+    def test_viable_events_filters_dead_branch(self):
+        s = Scheduler(A >> (C + D))
+        s.fire("a")
+        assert s.eligible() == {"c", "d"}
+        assert s.viable_events(frozenset({"c"})) == {"d"}
+        assert s.viable(frozenset({"c"}))
+
+    def test_not_viable_when_every_path_needs_the_event(self):
+        s = Scheduler(A >> B >> C)
+        assert not s.viable(frozenset({"b"}))
+        assert s.viable_events(frozenset({"b"})) == frozenset()
+
+    def test_viability_after_commitment(self):
+        # Before choosing, 'a' is avoidable (take the d-branch); once
+        # committed to the c-branch it no longer is. Past events do not
+        # count: avoiding the already-fired 'c' stays viable.
+        s = Scheduler((C >> A) + (D >> B))
+        assert s.viable(frozenset({"a"}))
+        s.fire("c")
+        assert not s.viable(frozenset({"a"}))
+        assert s.viable(frozenset({"c", "d"}))
+
+    def test_viability_on_concurrent_branches(self):
+        s = Scheduler((A + B) | (C + D))
+        avoid = frozenset({"a", "c"})
+        assert s.viable(avoid)
+        assert s.viable_events(avoid) == {"b", "d"}
+
+    def test_viability_on_deep_chains(self):
+        # The viability walk is iterative: a long forced chain must not
+        # hit the interpreter recursion limit.
+        from repro.ctr.formulas import seq as seq_
+
+        chain = seq_(*(Atom(f"x{i}") for i in range(3000)))
+        s = Scheduler(chain)
+        assert s.viable(frozenset())
+        assert not s.viable(frozenset({"x2999"}))
+
+    @settings(max_examples=50, deadline=None)
+    @given(unique_event_goals(max_events=4))
+    def test_viable_events_matches_exhaustive_traces(self, goal):
+        # An event is viable iff some complete trace from here avoids the
+        # avoided set; check against the enumerable ground truth.
+        import itertools
+
+        events = sorted(event_names(goal))
+        s = Scheduler(goal)
+        for avoid_pair in itertools.chain([()], itertools.combinations(events, 1)):
+            avoid = frozenset(avoid_pair)
+            expected = {
+                t[0] for t in traces(goal) if t and not (set(t) & avoid)
+            }
+            assert s.viable_events(avoid) == expected
 
 
 class TestRun:

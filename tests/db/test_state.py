@@ -109,3 +109,50 @@ class TestSnapshots:
         db1.insert("r", 1)
         db1.delete("r", 1)
         assert db1.same_state(db2)
+
+    def test_snapshots_are_independent_of_later_mutations(self):
+        # Snapshots share frozen relation views internally (the cache that
+        # makes repeated snapshotting cheap); mutations must not leak into
+        # a snapshot taken earlier.
+        db = Database()
+        db.insert("r", 1)
+        first = db.snapshot()
+        db.insert("r", 2)
+        second = db.snapshot()
+        db.delete("r", 1)
+        assert first["r"] == frozenset({(1,)})
+        assert second["r"] == frozenset({(1,), (2,)})
+        db.restore(first)
+        assert db.query("r") == [(1,)]
+
+    def test_restore_then_query_then_mutate(self):
+        # The restore seeds the frozen-view cache; a later mutation must
+        # invalidate it rather than serve the stale view.
+        db = Database()
+        db.insert("r", 1)
+        snap = db.snapshot()
+        db.restore(snap)
+        assert db.relation("r") == frozenset({(1,)})
+        db.insert("r", 2)
+        assert db.relation("r") == frozenset({(1,), (2,)})
+        assert snap["r"] == frozenset({(1,)})
+
+    def test_repeated_snapshots_reuse_clean_views(self):
+        db = Database()
+        db.insert("r", 1)
+        a = db.snapshot()
+        b = db.snapshot()  # nothing changed: the frozen views are shared
+        assert a["r"] is b["r"]
+        db.insert("s", 1)  # only 's' is dirty
+        c = db.snapshot()
+        assert c["r"] is a["r"]
+        assert c["s"] == frozenset({(1,)})
+
+    def test_assign_invalidates_frozen_view(self):
+        db = Database()
+        db.insert("r", 1)
+        assert db.relation("r") == frozenset({(1,)})
+        db.assign("r", [(2,)])
+        assert db.relation("r") == frozenset({(2,)})
+        db.delete_strict("r", 2)
+        assert db.relation("r") == frozenset()
