@@ -109,8 +109,15 @@ from .errors import (
     UniqueEventError,
 )
 from .graph import ControlFlowGraph, Trigger, apply_triggers, to_goal
+from .obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    NullTracer,
+    Observability,
+    Tracer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # ctr
@@ -132,6 +139,9 @@ __all__ = [
     "saga_invariants", "analyze", "WorkflowReport", "bounded_loop", "unroll",
     # graph
     "ControlFlowGraph", "to_goal", "Trigger", "apply_triggers",
+    # obs
+    "Observability", "Tracer", "NullTracer", "MetricsRegistry",
+    "FlightRecorder",
     # db
     "Database", "TransitionOracle", "Query", "V",
     # errors

@@ -24,7 +24,14 @@ from ..ctr.formulas import (
     walk,
 )
 
-__all__ = ["GoalStats", "goal_stats", "fit_power_law", "fit_exponential", "render_table"]
+__all__ = [
+    "GoalStats",
+    "goal_stats",
+    "fit_power_law",
+    "fit_exponential",
+    "percentile",
+    "render_table",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,28 @@ def fit_exponential(xs: list[float], ys: list[float]) -> tuple[float, float]:
     log_ys = [math.log(max(y, 1e-12)) for y in ys]
     slope, _intercept, r2 = _linear_regression(list(xs), log_ys)
     return math.exp(slope), r2
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    ``q`` is in [0, 100]. Used by the observability histograms
+    (:mod:`repro.obs.metrics`) for their p50/p95/p99 summaries.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 def render_table(title: str, headers: list[str], rows: list[list], note: str = "") -> str:

@@ -7,10 +7,19 @@
     python -m repro verify SPEC       # verify the file's `property` lines
     python -m repro run SPEC          # execute one schedule (log-only oracle)
     python -m repro show SPEC         # print the compiled goal
+    python -m repro trace ...         # record / show / diff / replay run traces
 
 ``SPEC`` is a text file in the :mod:`repro.spec` format. Exit status is 0
 on success, 1 when the specification is inconsistent, a property fails,
 or the file cannot be parsed.
+
+``run --trace FILE`` records the run — spans, every scheduler decision,
+and the final summary — into a JSONL flight-recorder trace whose header
+embeds the specification, chaos plan, and retry policies, so ``repro
+trace replay FILE`` can re-execute it and verify the identical schedule
+and database digest. ``run --metrics`` prints the metrics registry
+(compile sizes and the Theorem 5.11 ratio, attempt/retry/reroute
+counters, per-activity latency percentiles) after the schedule.
 """
 
 from __future__ import annotations
@@ -72,6 +81,44 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--seed", type=int, default=0,
                 help="seed for --fail-rate fault injection",
             )
+            command.add_argument(
+                "--trace", metavar="FILE", default=None,
+                help="record the run as a replayable JSONL trace",
+            )
+            command.add_argument(
+                "--metrics", action="store_true",
+                help="print the metrics registry after the run",
+            )
+
+    trace = sub.add_parser("trace", help="inspect and replay recorded run traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="run a specification and record the trace (= run --trace)"
+    )
+    record.add_argument("spec", help="path to a workflow specification file")
+    record.add_argument("trace_file", metavar="TRACE",
+                        help="output path for the JSONL trace")
+    for flag, kwargs in [
+        ("--retry", dict(type=int, default=1, metavar="N")),
+        ("--backoff", dict(type=float, default=0.0, metavar="SECONDS")),
+        ("--fail", dict(action="append", default=[], metavar="EVENT[:K]")),
+        ("--fail-rate", dict(type=float, default=0.0, metavar="P")),
+        ("--seed", dict(type=int, default=0)),
+    ]:
+        record.add_argument(flag, **kwargs)
+
+    show = trace_sub.add_parser("show", help="pretty-print a recorded trace")
+    show.add_argument("trace_file", metavar="TRACE")
+
+    diff = trace_sub.add_parser("diff", help="compare two recorded traces")
+    diff.add_argument("trace_a", metavar="TRACE_A")
+    diff.add_argument("trace_b", metavar="TRACE_B")
+
+    replay = trace_sub.add_parser(
+        "replay", help="re-execute a trace and verify it reproduces"
+    )
+    replay.add_argument("trace_file", metavar="TRACE")
     return parser
 
 
@@ -119,12 +166,23 @@ def _cmd_run(spec: Specification, out, args) -> int:
     from .core.resilience import ChaosOracle, ResiliencePolicy, RetryPolicy, VirtualClock
     from .db.oracle import TransitionOracle
 
-    compiled = spec.compile()
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    obs = None
+    if trace_path or want_metrics:
+        from .obs import Observability
+
+        obs = Observability.enabled(trace=bool(trace_path),
+                                    metrics=want_metrics,
+                                    record=bool(trace_path))
+
+    compiled = spec.compile(obs=obs)
     if not compiled.consistent:
         print("inconsistent: nothing to run", file=out)
         return 1
     clock = VirtualClock()
     oracle = TransitionOracle()
+    chaos = None
     if args.fail or args.fail_rate:
         from .ctr.formulas import event_names
 
@@ -154,13 +212,82 @@ def _cmd_run(spec: Specification, out, args) -> int:
         default=RetryPolicy(max_attempts=max(args.retry, 1),
                             base_delay=args.backoff, multiplier=2.0)
     )
-    report = WorkflowEngine(compiled, oracle=oracle,
-                            policies=policies, clock=clock).run()
+    engine = WorkflowEngine(compiled, oracle=oracle,
+                            policies=policies, clock=clock, obs=obs)
+    report = engine.run()
     print(" -> ".join(report.schedule), file=out)
     summary = report.summary()
     if summary:
         print(summary, file=out)
+    if trace_path:
+        from .obs import write_trace
+
+        with open(args.spec, encoding="utf-8") as handle:
+            spec_text = handle.read()
+        header = {
+            "spec": spec_text,
+            "chaos": chaos.plan() if chaos is not None else None,
+            "policies": policies.to_dict(),
+            "seed": args.seed,
+            "strategy": "first",
+        }
+        tail = {
+            "schedule": list(report.schedule),
+            "digest": report.database.digest(),
+            "attempts": dict(report.attempts),
+            "failures": len(report.failures),
+            "reroutes": len(report.reroutes),
+            "elapsed": report.elapsed,
+            "backoff": report.backoff,
+        }
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            write_trace(handle, header, spans=obs.tracer.spans,
+                        recorder=obs.recorder, summary=tail)
+        print(f"trace written to {trace_path}", file=out)
+    if want_metrics:
+        print(obs.metrics.render(), file=out)
     return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .obs import diff_traces, read_trace, render_trace, replay_trace
+
+    if args.trace_command == "record":
+        spec = load_specification(args.spec)
+        args.trace = args.trace_file
+        args.metrics = False
+        return _cmd_run(spec, out, args)
+
+    if args.trace_command == "show":
+        with open(args.trace_file, encoding="utf-8") as handle:
+            trace = read_trace(handle)
+        print(render_trace(trace), file=out)
+        return 0
+
+    if args.trace_command == "diff":
+        with open(args.trace_a, encoding="utf-8") as handle:
+            trace_a = read_trace(handle)
+        with open(args.trace_b, encoding="utf-8") as handle:
+            trace_b = read_trace(handle)
+        differences = diff_traces(trace_a, trace_b)
+        if not differences:
+            print("traces are equivalent", file=out)
+            return 0
+        for line in differences:
+            print(line, file=out)
+        return 1
+
+    with open(args.trace_file, encoding="utf-8") as handle:
+        trace = read_trace(handle)
+    result = replay_trace(trace)
+    print(" -> ".join(result.schedule), file=out)
+    if result.matches:
+        print(f"replay ok: schedule and digest {result.digest} reproduced",
+              file=out)
+        return 0
+    for line in result.mismatches:
+        print("mismatch: " + line, file=out)
+    return 1
 
 
 def _cmd_dot(spec: Specification, out) -> int:
@@ -195,6 +322,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         spec = load_specification(args.spec)
         if args.command == "check":
             return _cmd_check(spec, out)

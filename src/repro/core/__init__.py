@@ -24,7 +24,7 @@ from .static import (
 )
 from .compiler import CompiledWorkflow, compile_workflow
 from .engine import ExecutionReport, WorkflowEngine, first_strategy, random_strategy
-from .excise import excise, flat_executable, has_knot
+from .excise import ExciseStats, excise, flat_executable, has_knot
 from .explain import Rejection, explain_rejection, is_allowed
 from .incremental import add_constraint, add_constraints
 from .resilience import (
@@ -37,7 +37,7 @@ from .resilience import (
     SystemClock,
     VirtualClock,
 )
-from .scheduler import Scheduler, SchedulerMark
+from .scheduler import Scheduler, SchedulerMark, SchedulerStats
 from .sync import TokenFactory, sync_order
 from .verify import (
     VerificationResult,
@@ -53,12 +53,14 @@ __all__ = [
     "sync_order",
     "TokenFactory",
     "excise",
+    "ExciseStats",
     "has_knot",
     "flat_executable",
     "compile_workflow",
     "CompiledWorkflow",
     "Scheduler",
     "SchedulerMark",
+    "SchedulerStats",
     "WorkflowEngine",
     "ExecutionReport",
     "first_strategy",

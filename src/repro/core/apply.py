@@ -69,20 +69,32 @@ def apply_constraint(
 
 
 def apply_all(
-    constraints: list[Constraint], goal: Goal, tokens: TokenFactory | None = None
+    constraints: list[Constraint],
+    goal: Goal,
+    tokens: TokenFactory | None = None,
+    tracer=None,
 ) -> Goal:
     """Compile a whole constraint set ``C = {δ₁, …, δₙ}`` (Definition 5.5).
 
     The set is read as the conjunction ``δ₁ ∧ … ∧ δₙ`` and applied
-    sequentially.
+    sequentially. ``tracer`` (a :class:`repro.obs.tracer.Tracer`) times
+    each constraint's application as a child span, annotated with the
+    intermediate goal size — the quantity Theorem 5.11 bounds.
     """
     if tokens is None:
         tokens = TokenFactory()
+    from ..ctr.formulas import goal_size
     from ..ctr.simplify import simplify
 
     result = goal
-    for constraint in constraints:
-        result = _apply(normalize(constraint), result, tokens)
+    for index, constraint in enumerate(constraints):
+        if tracer is None:
+            result = _apply(normalize(constraint), result, tokens)
+        else:
+            with tracer.span("apply.constraint", index=index,
+                             constraint=str(constraint)) as span:
+                result = _apply(normalize(constraint), result, tokens)
+                span.annotate(size_after=goal_size(result))
         if isinstance(result, NegPath):
             return NEG_PATH
     return simplify(result)

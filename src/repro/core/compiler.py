@@ -96,6 +96,7 @@ def compile_workflow(
     goal: Goal,
     constraints: list[Constraint] | tuple[Constraint, ...] = (),
     rules: RuleBase | None = None,
+    obs=None,
 ) -> CompiledWorkflow:
     """Compile a workflow specification ``G ∧ C`` into executable form.
 
@@ -103,7 +104,16 @@ def compile_workflow(
     goal must satisfy the unique-event property (Definition 3.1), which is
     verified here and raises :class:`~repro.errors.UniqueEventError`
     otherwise.
+
+    ``obs`` (an :class:`~repro.obs.config.Observability`) times each phase
+    of the pipeline as a span (``compile`` → ``expand``/``apply``/
+    ``excise``) and records the size accounting of Theorem 5.11 — goal
+    size before and after Apply and Excise, knots excised, the constraint
+    count ``N`` and arity ``d``, and the measured ``|Apply(C,G)| /
+    (d^N·|G|)`` ratio — into the metrics registry on every compile.
     """
+    if obs is not None and obs.active:
+        return _compile_observed(goal, constraints, rules, obs)
     expanded = rules.expand(goal) if rules is not None else goal
     expanded = simplify(expanded)
     check_unique_events(expanded)
@@ -116,3 +126,67 @@ def compile_workflow(
         applied=applied,
         goal=compiled,
     )
+
+
+def _compile_observed(goal, constraints, rules, obs) -> CompiledWorkflow:
+    """The instrumented pipeline (identical semantics, plus accounting)."""
+    from ..obs.config import Observability  # noqa: F401 - documents the contract
+    from .excise import ExciseStats
+
+    tracer = obs.tracer
+    metrics = obs.metrics
+    stats = ExciseStats() if metrics is not None else None
+    with tracer.span("compile", constraints=len(constraints)):
+        with tracer.span("expand"):
+            expanded = rules.expand(goal) if rules is not None else goal
+            expanded = simplify(expanded)
+            check_unique_events(expanded)
+        tokens = TokenFactory()
+        with tracer.span("apply") as apply_span:
+            applied = apply_all(list(constraints), expanded, tokens,
+                                tracer=tracer if tracer.enabled else None)
+            apply_span.annotate(size=goal_size(applied))
+        with tracer.span("excise") as excise_span:
+            compiled = excise(applied, stats=stats)
+            excise_span.annotate(size=goal_size(compiled))
+    result = CompiledWorkflow(
+        source=expanded,
+        constraints=tuple(constraints),
+        applied=applied,
+        goal=compiled,
+    )
+    if metrics is not None:
+        _record_compile_metrics(metrics, result, stats)
+    return result
+
+
+def _record_compile_metrics(metrics, compiled: CompiledWorkflow, stats) -> None:
+    """Record the Theorem 5.11 accounting for one compilation."""
+    from ..analysis.metrics import goal_stats
+    from ..constraints.normalize import to_dnf
+
+    source_size = goal_size(compiled.source)
+    n = len(compiled.constraints)
+    d = max((to_dnf(c).width for c in compiled.constraints), default=1)
+    bound = (d ** n) * max(source_size, 1)
+    metrics.set_gauge("compile.source_size", source_size)
+    metrics.set_gauge("compile.applied_size", compiled.applied_size)
+    metrics.set_gauge("compile.compiled_size", compiled.compiled_size)
+    metrics.set_gauge("compile.constraints_N", n)
+    metrics.set_gauge("compile.arity_d", d)
+    metrics.set_gauge("compile.bound_dN_G", bound)
+    # The empirical side of Theorem 5.11: how much of the worst-case
+    # O(d^N·|G|) budget this compilation actually used.
+    metrics.set_gauge("compile.thm511_ratio", compiled.applied_size / bound)
+    metrics.set_gauge("compile.consistent", int(compiled.consistent))
+    if stats is not None:
+        metrics.set_gauge("excise.knots", stats.knots)
+        metrics.set_gauge("excise.local_choices", stats.local_choices)
+        metrics.set_gauge("excise.entangled_choices", stats.entangled_choices)
+        metrics.set_gauge("excise.combos_tried", stats.combos_tried)
+        metrics.set_gauge("excise.combos_viable", stats.combos_viable)
+    structure = goal_stats(compiled.goal)
+    metrics.set_gauge("compiled.events", structure.events)
+    metrics.set_gauge("compiled.choices", structure.choices)
+    metrics.set_gauge("compiled.tokens", structure.tokens)
+    metrics.set_gauge("compiled.parallel_width", structure.max_parallel_width)

@@ -39,13 +39,15 @@ resilience layer near zero (benchmarked in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from ..ctr.formulas import Test
 from ..db.oracle import TransitionOracle
 from ..db.state import Database
-from ..errors import RetryExhaustedError, SchedulingError, TimeoutError_
+from ..errors import ActivityTimeoutError, RetryExhaustedError, SchedulingError
+from ..obs.config import OBS_DISABLED, Observability
 from .compiler import CompiledWorkflow
 from .resilience import (
     Clock,
@@ -89,7 +91,8 @@ class ExecutionReport:
     failover taken; ``elapsed`` the run's duration on the engine clock
     (virtual seconds under the default
     :class:`~repro.core.resilience.VirtualClock`, which advances only on
-    backoff sleeps and injected latency).
+    backoff sleeps and injected latency); ``backoff`` how much of that was
+    spent sleeping between retry attempts.
     """
 
     schedule: tuple[str, ...]
@@ -99,6 +102,7 @@ class ExecutionReport:
     failures: tuple[FailureRecord, ...] = ()
     reroutes: tuple[RerouteRecord, ...] = ()
     elapsed: float = 0.0
+    backoff: float = 0.0
 
     def __bool__(self) -> bool:
         return self.completed
@@ -126,6 +130,8 @@ class ExecutionReport:
             f"survived, {len(self.reroutes)} reroute(s), "
             f"{self.elapsed:g}s on the engine clock"
         ]
+        if self.backoff:
+            lines.append(f"  backoff: {self.backoff:g}s slept between retries")
         retried = {e: n for e, n in sorted(self.attempts.items()) if n > 1}
         if retried:
             lines.append(
@@ -137,9 +143,10 @@ class ExecutionReport:
                 if reroute.discarded
                 else ""
             )
+            target = f" via {reroute.target!r}" if reroute.target else ""
             lines.append(
                 f"  reroute: {reroute.failed_event!r} died; resumed from "
-                f"schedule position {reroute.resumed_depth}{dropped}"
+                f"schedule position {reroute.resumed_depth}{target}{dropped}"
             )
         return "\n".join(lines)
 
@@ -166,6 +173,11 @@ class WorkflowEngine:
         Time source for backoff and timeouts; a deterministic
         :class:`~repro.core.resilience.VirtualClock` by default (pass
         :class:`~repro.core.resilience.SystemClock` for wall-clock).
+    obs:
+        An :class:`~repro.obs.config.Observability` bundle — tracer,
+        metrics registry, and flight recorder. The default is the disabled
+        singleton, under which every hook short-circuits to nothing
+        (benchmarked in ``benchmarks/bench_observability.py``).
     """
 
     def __init__(
@@ -176,6 +188,7 @@ class WorkflowEngine:
         strategy: Strategy | None = None,
         policies: ResiliencePolicy | None = None,
         clock: Clock | None = None,
+        obs: Observability | None = None,
     ):
         compiled.require_consistent()
         self.compiled = compiled
@@ -185,12 +198,15 @@ class WorkflowEngine:
         # Not `or`: an empty registry is falsy but may carry a default policy.
         self.policies = policies if policies is not None else ResiliencePolicy()
         self.clock: Clock = clock or VirtualClock()
+        self.obs = obs if obs is not None else OBS_DISABLED
         self._scheduler = compiled.scheduler(test_hook=self._evaluate_test)
         self._dead: set[str] = set()
         self._attempts: dict[str, int] = {}
         self._failures: list[FailureRecord] = []
         self._reroutes: list[RerouteRecord] = []
         self._journal: list[_RestorePoint] = []
+        self._backoff = 0.0
+        self._untargeted = 0  # trailing reroute records awaiting their target
 
     # -- transition conditions -------------------------------------------------
 
@@ -246,11 +262,21 @@ class WorkflowEngine:
         self._journal.clear()  # restore points from an earlier run are stale
         checkpoint = self.db.snapshot()
         origin = self._scheduler.mark()
+        obs = self.obs
         try:
-            self._drive(max_steps, checkpoint, origin)
+            if obs.active and obs.tracer.enabled:
+                with obs.tracer.span("engine.run") as span:
+                    self._drive(max_steps, checkpoint, origin)
+                    span.annotate(steps=len(self._scheduler.history))
+            else:
+                self._drive(max_steps, checkpoint, origin)
         except Exception:
             self.db.restore(checkpoint)
+            if obs.active and obs.metrics is not None:
+                self._flush_metrics(aborted=True)
             raise
+        if obs.active and obs.metrics is not None:
+            self._flush_metrics(aborted=False)
         return ExecutionReport(
             schedule=self._scheduler.history,
             database=self.db,
@@ -259,7 +285,21 @@ class WorkflowEngine:
             failures=tuple(self._failures),
             reroutes=tuple(self._reroutes),
             elapsed=self.clock.now() - started,
+            backoff=self._backoff,
         )
+
+    def _flush_metrics(self, aborted: bool) -> None:
+        """Record end-of-run gauges (scheduler work, backoff, abort flag)."""
+        metrics = self.obs.metrics
+        stats = self._scheduler.stats
+        metrics.set_gauge("scheduler.steps", stats.steps)
+        metrics.set_gauge("scheduler.eligible_calls", stats.eligible_calls)
+        metrics.set_gauge("scheduler.configs_expanded", stats.configs_expanded)
+        metrics.set_gauge("scheduler.rewinds", stats.rewinds)
+        metrics.set_gauge("scheduler.viability_checks", stats.viability_checks)
+        metrics.set_gauge("scheduler.viability_nodes", stats.viability_nodes)
+        metrics.set_gauge("engine.backoff_seconds", self._backoff)
+        metrics.set_gauge("engine.aborted", int(aborted))
 
     # -- the drive loop ----------------------------------------------------------
 
@@ -267,6 +307,15 @@ class WorkflowEngine:
                origin: SchedulerMark) -> None:
         scheduler = self._scheduler
         strategy = self.strategy
+        # Resolve the observability sinks once: on the disabled singleton all
+        # three locals are None and the loop body below reduces to the
+        # uninstrumented seed engine (the ≤3% budget of
+        # benchmarks/bench_observability.py rides on this).
+        obs = self.obs
+        tracer = obs.tracer if obs.active and obs.tracer.enabled else None
+        recorder = obs.recorder if obs.active else None
+        metrics = obs.metrics if obs.active else None
+        step = 0
         for _ in range(max_steps):
             if self._dead:
                 events = scheduler.viable_events(frozenset(self._dead))
@@ -282,11 +331,40 @@ class WorkflowEngine:
             if len(events) > 1:
                 # A choice point: journal a restore target for failover.
                 self._journal.append((scheduler.mark(), self.db.snapshot()))
+                if metrics is not None:
+                    metrics.inc("engine.choice_points")
+                    metrics.inc("engine.snapshots")
             scheduler.fire(event)
             try:
-                self._attempt(event, events)
+                if tracer is not None:
+                    with tracer.span("engine.step", event=event,
+                                     eligible=len(events)):
+                        self._attempt(event, events)
+                else:
+                    self._attempt(event, events)
             except RetryExhaustedError as exc:
+                if recorder is not None:
+                    cause = exc.cause if exc.cause is not None else exc
+                    recorder.record(step, events, event,
+                                    f"dead:{type(cause).__name__}",
+                                    self.db.digest())
+                step += 1
                 self._failover(exc, checkpoint, origin)
+                if recorder is not None:
+                    last = self._reroutes[-1]
+                    recorder.record_reroute(last.failed_event,
+                                            last.resumed_depth, last.discarded)
+                continue
+            if recorder is not None:
+                recorder.record(step, events, event, "ok", self.db.digest())
+            step += 1
+            if self._untargeted:
+                # The first event fired after a failover names the branch
+                # the reroute actually took; backfill the pending records.
+                start = len(self._reroutes) - self._untargeted
+                for i in range(start, len(self._reroutes)):
+                    self._reroutes[i] = replace(self._reroutes[i], target=event)
+                self._untargeted = 0
         raise SchedulingError(f"workflow did not finish within {max_steps} steps")
 
     def _attempt(self, event: str, eligible: frozenset[str]) -> None:
@@ -294,33 +372,47 @@ class WorkflowEngine:
         policy = self.policies.policy_for(event)
         attempts = self._attempts
         attempts[event] = attempts.get(event, 0) + 1
+        obs = self.obs
+        metrics = obs.metrics if obs.active else None
+        tracer = obs.tracer if obs.active and obs.tracer.enabled else None
         if not policy.needs_attempt_snapshot:
             # Single attempt, no timeout: no snapshot, no clock, no loop —
             # this keeps the fault-free happy path within the overhead
             # budget (see benchmarks/bench_resilience.py R1).
             try:
-                self.oracle.execute(event, self.db)
+                if metrics is None and tracer is None:
+                    self.oracle.execute(event, self.db)
+                else:
+                    self._observed_execute(event, 1, tracer, metrics)
                 return
             except Exception as exc:  # noqa: BLE001 - any activity failure counts
                 self._failures.append(
                     FailureRecord(event, 1, type(exc).__name__, str(exc))
                 )
+                if metrics is not None:
+                    metrics.inc("engine.failures")
+                    metrics.inc("engine.retries_exhausted")
                 raise RetryExhaustedError(
                     event, 1, exc,
                     schedule=self._scheduler.history,
                     eligible=eligible,
                 ) from exc
         snapshot = self.db.snapshot()
+        if metrics is not None:
+            metrics.inc("engine.snapshots")
         last: BaseException | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 attempts[event] = attempts.get(event, 0) + 1
             begin = self.clock.now()
             try:
-                self.oracle.execute(event, self.db)
+                if metrics is None and tracer is None:
+                    self.oracle.execute(event, self.db)
+                else:
+                    self._observed_execute(event, attempt, tracer, metrics)
                 elapsed = self.clock.now() - begin
                 if policy.timeout is not None and elapsed > policy.timeout:
-                    raise TimeoutError_(event, elapsed, policy.timeout, attempt)
+                    raise ActivityTimeoutError(event, elapsed, policy.timeout, attempt)
                 return
             except Exception as exc:  # noqa: BLE001 - any activity failure counts
                 last = exc
@@ -328,8 +420,15 @@ class WorkflowEngine:
                     FailureRecord(event, attempt, type(exc).__name__, str(exc))
                 )
                 self.db.restore(snapshot)
+                if metrics is not None:
+                    metrics.inc("engine.failures")
+                    metrics.inc("engine.rollbacks")
                 if attempt < policy.max_attempts:
-                    self.clock.sleep(policy.delay(attempt))
+                    delay = policy.delay(attempt)
+                    self._backoff += delay
+                    self.clock.sleep(delay)
+        if metrics is not None:
+            metrics.inc("engine.retries_exhausted")
         raise RetryExhaustedError(
             event,
             policy.max_attempts,
@@ -337,6 +436,25 @@ class WorkflowEngine:
             schedule=self._scheduler.history,
             eligible=eligible,
         )
+
+    def _observed_execute(self, event: str, attempt: int, tracer, metrics) -> None:
+        """One oracle call under a span and/or a per-activity latency histogram."""
+        if tracer is not None:
+            with tracer.span("engine.attempt", event=event, attempt=attempt):
+                self._timed_execute(event, metrics)
+        else:
+            self._timed_execute(event, metrics)
+
+    def _timed_execute(self, event: str, metrics) -> None:
+        if metrics is None:
+            self.oracle.execute(event, self.db)
+            return
+        metrics.inc("engine.attempts")
+        begin = time.perf_counter()
+        try:
+            self.oracle.execute(event, self.db)
+        finally:
+            metrics.observe(f"latency.{event}", time.perf_counter() - begin)
 
     def _failover(self, exc: RetryExhaustedError, checkpoint: Snapshot,
                   origin: SchedulerMark) -> None:
@@ -368,6 +486,10 @@ class WorkflowEngine:
                         resumed_depth=mark.depth,
                     )
                 )
+                self._untargeted += 1
+                if self.obs.active and self.obs.metrics is not None:
+                    self.obs.metrics.inc("engine.reroutes")
+                    self.obs.metrics.inc("engine.rollbacks")
                 return
         self._scheduler.rewind(origin)
         raise RetryExhaustedError(

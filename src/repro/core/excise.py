@@ -65,12 +65,47 @@ from ..ctr.formulas import (
 )
 from ..ctr.simplify import simplify
 
-__all__ = ["excise", "has_knot", "flat_executable"]
+__all__ = ["ExciseStats", "excise", "has_knot", "flat_executable"]
 
 
-def excise(goal: Goal) -> Goal:
-    """Remove every knotted sub-formula; return the pruned goal or ``¬path``."""
-    return _excise(goal)
+@dataclass
+class ExciseStats:
+    """Accounting of one Excise pass (for the observability metrics).
+
+    ``knots`` counts choice-free (sub-)goals found non-executable — each
+    is a knot the transformation removed; the choice counters expose which
+    of the two nesting regimes ran, and the combo counters size the
+    entangled enumeration, Excise's only potentially super-linear path.
+    """
+
+    knots: int = 0
+    local_choices: int = 0
+    entangled_choices: int = 0
+    combos_tried: int = 0
+    combos_viable: int = 0
+
+
+# The stats sink of the excise pass in flight, if any. A module global
+# rather than a threaded parameter: the recursion fans out through many
+# helpers (including the `excise` re-entry for ◇ bodies), and the library
+# is single-threaded per pass.
+_stats: ExciseStats | None = None
+
+
+def excise(goal: Goal, stats: ExciseStats | None = None) -> Goal:
+    """Remove every knotted sub-formula; return the pruned goal or ``¬path``.
+
+    Pass an :class:`ExciseStats` to collect how much pruning the pass did;
+    the default collects nothing and adds no work.
+    """
+    global _stats
+    if stats is None:
+        return _excise(goal)
+    previous, _stats = _stats, stats
+    try:
+        return _excise(goal)
+    finally:
+        _stats = previous
 
 
 def has_knot(goal: Goal) -> bool:
@@ -89,7 +124,11 @@ def _excise(goal: Goal) -> Goal:
 
     paths = _topmost_choices(goal)
     if not paths:
-        return goal if flat_executable(goal) else NEG_PATH
+        if flat_executable(goal):
+            return goal
+        if _stats is not None:
+            _stats.knots += 1
+        return NEG_PATH
 
     local_paths: list[tuple[int, ...]] = []
     entangled_paths: list[tuple[int, ...]] = []
@@ -98,6 +137,9 @@ def _excise(goal: Goal) -> Goal:
             entangled_paths.append(path)
         else:
             local_paths.append(path)
+    if _stats is not None:
+        _stats.local_choices += len(local_paths)
+        _stats.entangled_choices += len(entangled_paths)
 
     # Local choices: no token crosses their boundary, so each alternative's
     # viability is intrinsic — prune them in place (recursion on strict
@@ -119,6 +161,8 @@ def _excise(goal: Goal) -> Goal:
     skeleton = simplify(_replace_many(pruned_goal, [(p, EMPTY) for p in local_paths]))
     if isinstance(skeleton, Empty) or flat_executable(skeleton):
         return simplify(pruned_goal)
+    if _stats is not None:
+        _stats.knots += 1
     return NEG_PATH
 
 
@@ -133,6 +177,8 @@ def _excise_entangled(goal: Goal, paths: list[tuple[int, ...]]) -> Goal:
     viable_combos: list[tuple[int, ...]] = []
     resolved_by_combo: dict[tuple[int, ...], Goal] = {}
     for combo in itertools.product(*(range(n) for n in alternative_counts)):
+        if _stats is not None:
+            _stats.combos_tried += 1
         resolution = [
             (path, _at(goal, path).parts[index]) for path, index in zip(paths, combo)
         ]
@@ -140,6 +186,8 @@ def _excise_entangled(goal: Goal, paths: list[tuple[int, ...]]) -> Goal:
         if not isinstance(resolved, NegPath):
             viable_combos.append(combo)
             resolved_by_combo[combo] = resolved
+            if _stats is not None:
+                _stats.combos_viable += 1
 
     if not viable_combos:
         return NEG_PATH

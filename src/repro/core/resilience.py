@@ -161,6 +161,20 @@ class RetryPolicy:
         """
         return self.max_attempts > 1 or self.timeout is not None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (trace headers embed policies for replay)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)
+
 
 class ResiliencePolicy:
     """Registry mapping event names to :class:`RetryPolicy` objects.
@@ -192,6 +206,21 @@ class ResiliencePolicy:
     def __len__(self) -> int:
         return len(self._policies)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (trace headers embed policies for replay)."""
+        return {
+            "default": self.default.to_dict(),
+            "events": {e: p.to_dict() for e, p in sorted(self._policies.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResiliencePolicy":
+        default = data.get("default")
+        registry = cls(RetryPolicy.from_dict(default) if default else None)
+        for event, policy in (data.get("events") or {}).items():
+            registry.register(event, RetryPolicy.from_dict(policy))
+        return registry
+
 
 # -- structured failure accounting -------------------------------------------
 
@@ -214,11 +243,14 @@ class RerouteRecord:
     position ``resumed_depth``, discarding the already-committed events in
     ``discarded`` (their database effects were undone with the snapshot),
     and continued down a ``∨``-alternative that avoids the dead event.
+    ``target`` is the first event fired on the surviving branch (``None``
+    only if the run ended before another event fired).
     """
 
     failed_event: str
     discarded: tuple[str, ...]
     resumed_depth: int
+    target: str | None = None
 
 
 # -- fault injection ----------------------------------------------------------
@@ -265,6 +297,7 @@ class ChaosOracle:
                  clock: Clock | None = None, seed: int | None = None):
         self.inner = inner or TransitionOracle()
         self.clock = clock
+        self.seed = seed
         self._rng = random.Random(seed)
         self._rate = 0.0
         self._fail_events: dict[str, int | None] = {}
@@ -307,6 +340,38 @@ class ChaosOracle:
         """Forget attempt counters and schedule numbering (not the fault plan)."""
         self._attempts.clear()
         self._step_of.clear()
+
+    def plan(self) -> dict:
+        """The fault plan in JSON-serializable form.
+
+        A trace header embeds this, and :meth:`from_plan` rebuilds an
+        oracle that injects the identical fault sequence — the determinism
+        the flight-recorder replay rests on.
+        """
+        return {
+            "seed": self.seed,
+            "rate": self._rate,
+            "fail_events": dict(self._fail_events),
+            "corrupt": sorted(self._corrupt),
+            "fail_indices": {str(i): b for i, b in self._fail_indices.items()},
+            "latencies": dict(self._latencies),
+        }
+
+    @classmethod
+    def from_plan(cls, plan: dict, inner: TransitionOracle | None = None,
+                  clock: Clock | None = None) -> "ChaosOracle":
+        """Rebuild an oracle from :meth:`plan` output (fresh counters)."""
+        oracle = cls(inner=inner, clock=clock, seed=plan.get("seed"))
+        if plan.get("rate"):
+            oracle.fail_rate(plan["rate"])
+        corrupt = set(plan.get("corrupt") or ())
+        for event, budget in (plan.get("fail_events") or {}).items():
+            oracle.fail_event(event, attempts=budget, corrupt=event in corrupt)
+        for index, budget in (plan.get("fail_indices") or {}).items():
+            oracle.fail_at(int(index), attempts=budget)
+        for event, seconds in (plan.get("latencies") or {}).items():
+            oracle.add_latency(event, seconds)
+        return oracle
 
     # -- TransitionOracle interface ------------------------------------------
 

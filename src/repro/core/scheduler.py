@@ -27,7 +27,26 @@ from ..ctr.machine import Config, Machine
 from ..errors import IneligibleEventError, SchedulingError
 from ..ctr.traces import TooManyTracesError
 
-__all__ = ["Scheduler", "SchedulerMark"]
+__all__ = ["Scheduler", "SchedulerMark", "SchedulerStats"]
+
+
+@dataclass
+class SchedulerStats:
+    """Run-time accounting of one scheduler's work, fed to the metrics
+    registry by the engine at the end of a run.
+
+    ``configs_expanded`` counts machine configurations whose successors
+    were computed in :meth:`Scheduler.eligible` — the quantity the paper's
+    linear-scheduling bound is about; ``viability_nodes`` counts memo
+    entries decided by the failover query, the price of each reroute.
+    """
+
+    steps: int = 0
+    eligible_calls: int = 0
+    configs_expanded: int = 0
+    rewinds: int = 0
+    viability_checks: int = 0
+    viability_nodes: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,6 +110,7 @@ class Scheduler:
         self._history: list[str] = []
         self._viability_key: frozenset[str] | None = None
         self._viability_memo: dict[Config, bool] = {}
+        self.stats = SchedulerStats()
 
     # -- introspection -------------------------------------------------------
 
@@ -101,6 +121,9 @@ class Scheduler:
 
     def eligible(self) -> frozenset[str]:
         """Events that may start now (the paper's "events eligible to start")."""
+        stats = self.stats
+        stats.eligible_calls += 1
+        stats.configs_expanded += len(self._state)
         events: set[str] = set()
         for config in self._state:
             events.update(self._machine.successors(config))
@@ -131,6 +154,7 @@ class Scheduler:
             raise IneligibleEventError(event, self.eligible())
         self._state = frozenset(next_state)
         self._history.append(event)
+        self.stats.steps += 1
 
     def reset(self) -> None:
         """Return to the initial state."""
@@ -147,6 +171,7 @@ class Scheduler:
         """Return to a mark taken earlier on this run, truncating the history."""
         self._state = mark.state
         del self._history[mark.depth:]
+        self.stats.rewinds += 1
 
     # -- branch viability ------------------------------------------------------
 
@@ -183,6 +208,7 @@ class Scheduler:
 
     def _viability(self, avoid: frozenset[str]) -> dict[Config, bool]:
         """The memo table for ``avoid`` (reset whenever the avoided set changes)."""
+        self.stats.viability_checks += 1
         if self._viability_key != avoid:
             self._viability_key = avoid
             self._viability_memo = {}
@@ -223,6 +249,7 @@ class Scheduler:
             # Post-order visit: every decidable child is decided; children
             # still expanding are on a cycle and count as non-viable.
             memo[current] = any(memo.get(k, False) for k in children[current])
+            self.stats.viability_nodes += 1
             stack.pop()
         return memo[config]
 

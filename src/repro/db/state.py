@@ -136,6 +136,30 @@ class Database:
         clone.restore(self.snapshot())
         return clone
 
+    def digest(self) -> str:
+        """A stable short hash of the full state (relations + event log).
+
+        Two databases with the same relations and the same logged event
+        sequence produce the same digest, independent of insertion order.
+        The flight recorder journals it after every engine step, so a
+        replayed run can be checked for state identity without
+        serializing whole databases into the trace.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for name in sorted(n for n, rows in self._relations.items() if rows):
+            hasher.update(name.encode())
+            hasher.update(b"\x1f")
+            for row in sorted(self._relations[name], key=repr):
+                hasher.update(repr(row).encode())
+                hasher.update(b"\x1e")
+        hasher.update(b"\x1d")
+        for event in self.log.events():
+            hasher.update(event.encode())
+            hasher.update(b"\x1e")
+        return hasher.hexdigest()[:16]
+
     # -- equality (state identity for the semantics) -------------------------------
 
     def same_state(self, other: "Database") -> bool:

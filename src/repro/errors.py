@@ -144,14 +144,15 @@ class RetryExhaustedError(ExecutionError):
                          schedule=schedule, eligible=eligible)
 
 
-class TimeoutError_(ReproError):
+class ActivityTimeoutError(ReproError):
     """An activity attempt overran its per-attempt timeout budget.
 
     The engine detects the overrun on its (injectable) clock after the
     activity returns — it cannot preempt a running update — and treats the
-    attempt as failed, rolling its effects back. Named with a trailing
-    underscore to avoid shadowing the builtin ``TimeoutError`` (same
-    convention as :class:`RecursionError_`).
+    attempt as failed, rolling its effects back. The name avoids shadowing
+    the builtin ``TimeoutError`` while saying what timed out; the
+    historical alias :data:`TimeoutError_` is kept for compatibility and
+    is deprecated.
     """
 
     def __init__(self, activity: str, elapsed: float, timeout: float, attempt: int):
@@ -163,6 +164,10 @@ class TimeoutError_(ReproError):
             f"activity {activity!r} attempt {attempt} took {elapsed:g}s, "
             f"over its {timeout:g}s timeout"
         )
+
+
+#: Deprecated alias of :class:`ActivityTimeoutError` (pre-1.1 name).
+TimeoutError_ = ActivityTimeoutError
 
 
 class DatabaseError(ReproError):

@@ -44,8 +44,28 @@ class _Edge:
     branch_origin: str
 
 
-def to_goal(graph: ControlFlowGraph) -> Goal:
-    """The concurrent-Horn goal encoding of ``graph`` (the paper's formula (1))."""
+def to_goal(graph: ControlFlowGraph, obs=None) -> Goal:
+    """The concurrent-Horn goal encoding of ``graph`` (the paper's formula (1)).
+
+    Pass an :class:`~repro.obs.config.Observability` to time the
+    translation (span ``translate``) and record the graph-to-goal size
+    metrics; the default records nothing.
+    """
+    if obs is not None and obs.active:
+        from ..ctr.formulas import goal_size
+
+        with obs.tracer.span("translate", activities=len(graph.activities),
+                             arcs=len(graph.arcs)):
+            goal = _to_goal(graph)
+        if obs.metrics is not None:
+            obs.metrics.set_gauge("translate.activities", len(graph.activities))
+            obs.metrics.set_gauge("translate.arcs", len(graph.arcs))
+            obs.metrics.set_gauge("translate.goal_size", goal_size(goal))
+        return goal
+    return _to_goal(graph)
+
+
+def _to_goal(graph: ControlFlowGraph) -> Goal:
     graph.check_acyclic()
     initial, final = graph.initial, graph.final
 

@@ -1,0 +1,63 @@
+"""Zero-dependency observability: tracing, metrics, and a flight recorder.
+
+The paper's pipeline — translate → ``Apply(C, G)`` → ``Excise`` →
+schedule/execute — runs end to end inside this library; this package makes
+it inspectable at run time without changing its semantics:
+
+* :mod:`~repro.obs.tracer` — hierarchical context-manager **spans** with
+  monotonic timings and JSONL export, instrumented through ``translate``,
+  ``apply``, ``excise``, every scheduler step, and every engine attempt;
+* :mod:`~repro.obs.metrics` — a **registry** of counters, gauges, and
+  p50/p95/p99 histograms fed by the compiler (goal sizes before/after
+  Apply and Excise, knots excised, the Theorem 5.11 ``N``/``d``/ratio) and
+  the engine (attempts, retries exhausted, reroutes, snapshots, rollbacks,
+  per-activity latency);
+* :mod:`~repro.obs.recorder` — a **flight recorder** journaling every
+  scheduler decision (eligible set, chosen event, verdict, database
+  digest) into a replayable JSONL trace, with record / pretty-print /
+  diff / deterministic replay on the ``repro trace`` command line.
+
+Everything hangs off one :class:`~repro.obs.config.Observability` object;
+the default (:data:`~repro.obs.config.OBS_DISABLED`) is no-op-cheap.
+"""
+
+from .config import OBS_DISABLED, Observability
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    Decision,
+    FlightRecorder,
+    ReplayDivergenceError,
+    ReplayResult,
+    ReplayStrategy,
+    Trace,
+    diff_traces,
+    read_trace,
+    render_trace,
+    replay_trace,
+    write_trace,
+)
+from .tracer import NullTracer, Span, Tracer, render_spans
+
+__all__ = [
+    "Observability",
+    "OBS_DISABLED",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "render_spans",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "FlightRecorder",
+    "Decision",
+    "Trace",
+    "write_trace",
+    "read_trace",
+    "render_trace",
+    "diff_traces",
+    "replay_trace",
+    "ReplayStrategy",
+    "ReplayResult",
+    "ReplayDivergenceError",
+]

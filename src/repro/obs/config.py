@@ -1,0 +1,62 @@
+"""The one switch for the whole observability subsystem.
+
+An :class:`Observability` object bundles the three sinks — tracer, metrics
+registry, flight recorder — and is threaded through
+:func:`~repro.core.compiler.compile_workflow`,
+:class:`~repro.core.engine.WorkflowEngine`, and the CLI. The default,
+:data:`OBS_DISABLED`, carries a :class:`~repro.obs.tracer.NullTracer` and
+no registry/recorder; instrumented code checks :attr:`Observability.active`
+once per run and skips every hook, which keeps the happy path within the
+3% budget gated by ``benchmarks/bench_observability.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+from .recorder import FlightRecorder
+from .tracer import NullTracer, Tracer
+
+__all__ = ["Observability", "OBS_DISABLED"]
+
+
+@dataclass
+class Observability:
+    """Configuration of the tracing/metrics/flight-recorder sinks.
+
+    ``active`` is derived once at construction: instrumented hot loops read
+    it a single time and take the uninstrumented branch when everything is
+    off. (Benchmarks override it to measure the cost of the hooks
+    themselves with null sinks.)
+    """
+
+    tracer: Tracer | NullTracer = field(default_factory=NullTracer)
+    metrics: MetricsRegistry | None = None
+    recorder: FlightRecorder | None = None
+
+    def __post_init__(self) -> None:
+        self.active = (
+            self.tracer.enabled
+            or self.metrics is not None
+            or self.recorder is not None
+        )
+
+    @classmethod
+    def enabled(cls, trace: bool = True, metrics: bool = True,
+                record: bool = True) -> "Observability":
+        """An all-on (or selectively-on) configuration."""
+        return cls(
+            tracer=Tracer() if trace else NullTracer(),
+            metrics=MetricsRegistry() if metrics else None,
+            recorder=FlightRecorder() if record else None,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The no-op configuration (what everything defaults to)."""
+        return OBS_DISABLED
+
+
+#: Shared default: all sinks off. Safe to share — it holds no state.
+OBS_DISABLED = Observability()

@@ -1,0 +1,180 @@
+"""Counters, gauges, and histograms for the compiler and the engine.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+* :class:`Counter` — monotonically increasing totals (attempts, reroutes,
+  snapshots, rollbacks, backoff seconds slept);
+* :class:`Gauge` — last-written values (goal sizes before/after Apply and
+  Excise, the constraint count ``N`` and arity ``d``, the Theorem 5.11
+  ratio recorded on every compile);
+* :class:`Histogram` — distributions with p50/p95/p99 summaries
+  (per-activity latencies), percentiles via
+  :func:`repro.analysis.metrics.percentile`.
+
+The registry renders itself through the benchmark harness's
+:func:`repro.analysis.metrics.render_table`, so ``repro run --metrics``
+prints the same ASCII tables as the paper-validation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..analysis.metrics import percentile, render_table
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A recorded distribution with percentile summaries."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def summary(self) -> dict[str, float]:
+        """count/total/min/max plus the p50/p95/p99 the tables print."""
+        if not self.values:
+            return {"count": 0, "total": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.inc("engine.attempts")
+    >>> metrics.observe("latency.pay", 0.25)
+    >>> metrics.counter("engine.attempts").value
+    1
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    # -- write shortcuts (the forms instrumented code calls) -----------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """ASCII tables of every instrument, benchmark-report style."""
+        sections: list[str] = []
+        scalars = [[name, counter.value] for name, counter in
+                   sorted(self._counters.items())]
+        scalars += [[name, gauge.value] for name, gauge in
+                    sorted(self._gauges.items())]
+        if scalars:
+            sections.append(
+                render_table("metrics: counters and gauges",
+                             ["name", "value"], scalars)
+            )
+        if self._histograms:
+            rows = []
+            for name, histogram in sorted(self._histograms.items()):
+                summary = histogram.summary()
+                if not summary["count"]:
+                    continue
+                rows.append([
+                    name, summary["count"], summary["total"], summary["min"],
+                    summary["p50"], summary["p95"], summary["p99"],
+                    summary["max"],
+                ])
+            if rows:
+                sections.append(
+                    render_table(
+                        "metrics: histograms",
+                        ["name", "count", "total", "min", "p50", "p95",
+                         "p99", "max"],
+                        rows,
+                    )
+                )
+        return "\n\n".join(sections)

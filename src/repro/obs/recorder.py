@@ -1,0 +1,363 @@
+"""The flight recorder: a replayable journal of every scheduler decision.
+
+While the engine runs, the recorder journals each drive-loop decision —
+the step index, the eligible set offered to the strategy, the chosen
+event, the oracle's verdict (``ok`` or the failure class that killed the
+attempt permanently), and a digest of the database after the step — plus
+every choice-branch failover taken. Together with a header carrying the
+workflow specification, the chaos fault plan, and the retry policies, the
+journal is *replayable*: :func:`replay_trace` recompiles the workflow,
+rebuilds the deterministic fault plan, and re-drives the engine with a
+strategy that re-picks the recorded choices, then checks that the
+schedule, final database digest, and resilience counters all match.
+
+Trace files are JSONL: one ``header`` line, then ``span`` / ``decision`` /
+``reroute`` lines in order, then one ``summary`` line. ``repro trace``
+records, pretty-prints, diffs, and replays them from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+from ..analysis.metrics import render_table
+from ..errors import ReproError
+from .tracer import Span, render_spans
+
+__all__ = [
+    "Decision",
+    "FlightRecorder",
+    "Trace",
+    "ReplayDivergenceError",
+    "ReplayResult",
+    "ReplayStrategy",
+    "write_trace",
+    "read_trace",
+    "render_trace",
+    "diff_traces",
+    "replay_trace",
+]
+
+TRACE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduler decision: what was offered, chosen, and how it went."""
+
+    step: int
+    eligible: tuple[str, ...]
+    chosen: str
+    verdict: str = "ok"  # "ok" or "dead:<ExceptionClass>" (permanent failure)
+    digest: str = ""     # database digest after the step settled
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "decision",
+            "step": self.step,
+            "eligible": list(self.eligible),
+            "chosen": self.chosen,
+            "verdict": self.verdict,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Decision":
+        return cls(
+            step=data["step"],
+            eligible=tuple(data["eligible"]),
+            chosen=data["chosen"],
+            verdict=data["verdict"],
+            digest=data["digest"],
+        )
+
+
+class FlightRecorder:
+    """Accumulates decisions and reroutes during one engine run."""
+
+    def __init__(self) -> None:
+        self.decisions: list[Decision] = []
+        self.reroutes: list[dict[str, Any]] = []
+
+    def record(self, step: int, eligible: frozenset[str], chosen: str,
+               verdict: str, digest: str) -> None:
+        self.decisions.append(
+            Decision(step, tuple(sorted(eligible)), chosen, verdict, digest)
+        )
+
+    def record_reroute(self, failed_event: str, resumed_depth: int,
+                       discarded: tuple[str, ...]) -> None:
+        self.reroutes.append({
+            "kind": "reroute",
+            "failed_event": failed_event,
+            "resumed_depth": resumed_depth,
+            "discarded": list(discarded),
+            "at_decision": len(self.decisions),
+        })
+
+
+@dataclass
+class Trace:
+    """A parsed trace file."""
+
+    header: dict[str, Any]
+    spans: list[Span] = field(default_factory=list)
+    decisions: list[Decision] = field(default_factory=list)
+    reroutes: list[dict[str, Any]] = field(default_factory=list)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def schedule(self) -> tuple[str, ...]:
+        return tuple(self.summary.get("schedule", ()))
+
+    @property
+    def digest(self) -> str:
+        return self.summary.get("digest", "")
+
+
+def write_trace(
+    fp: TextIO,
+    header: dict[str, Any],
+    spans: list[Span] | tuple[Span, ...] = (),
+    recorder: FlightRecorder | None = None,
+    summary: dict[str, Any] | None = None,
+) -> None:
+    """Serialize one run as JSONL (header, spans, journal, summary)."""
+    head = {"kind": "header", "format": TRACE_FORMAT}
+    head.update(header)
+    fp.write(json.dumps(head, default=repr) + "\n")
+    for span in spans:
+        fp.write(json.dumps(span.to_dict(), default=repr) + "\n")
+    if recorder is not None:
+        for decision in recorder.decisions:
+            fp.write(json.dumps(decision.to_dict()) + "\n")
+        for reroute in recorder.reroutes:
+            fp.write(json.dumps(reroute) + "\n")
+    if summary is not None:
+        tail = {"kind": "summary"}
+        tail.update(summary)
+        fp.write(json.dumps(tail, default=repr) + "\n")
+
+
+def read_trace(fp: TextIO) -> Trace:
+    """Parse a trace written by :func:`write_trace`."""
+    header: dict[str, Any] | None = None
+    spans: list[Span] = []
+    decisions: list[Decision] = []
+    reroutes: list[dict[str, Any]] = []
+    summary: dict[str, Any] = {}
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        kind = data.get("kind")
+        if kind == "header":
+            header = data
+        elif kind == "span":
+            spans.append(Span.from_dict(data))
+        elif kind == "decision":
+            decisions.append(Decision.from_dict(data))
+        elif kind == "reroute":
+            reroutes.append(data)
+        elif kind == "summary":
+            summary = data
+        else:
+            raise ReproError(f"unknown trace record kind {kind!r}")
+    if header is None:
+        raise ReproError("trace file has no header record")
+    return Trace(header=header, spans=spans, decisions=decisions,
+                 reroutes=reroutes, summary=summary)
+
+
+def render_trace(trace: Trace) -> str:
+    """Pretty-print a trace: header, span tree, decision journal, summary."""
+    lines: list[str] = []
+    header = {k: v for k, v in trace.header.items()
+              if k not in ("kind", "spec")}
+    lines.append("trace header: " + json.dumps(header, default=repr))
+    if trace.spans:
+        lines.append("")
+        lines.append("spans:")
+        lines.append(render_spans(trace.spans))
+    if trace.decisions:
+        reroutes_at = {r["at_decision"]: r for r in trace.reroutes}
+        rows: list[list] = []
+        for index, decision in enumerate(trace.decisions):
+            rows.append([
+                decision.step,
+                decision.chosen,
+                "{" + ",".join(decision.eligible) + "}",
+                decision.verdict,
+                decision.digest[:12],
+            ])
+            reroute = reroutes_at.get(index + 1)
+            if reroute is not None:
+                discarded = ",".join(reroute["discarded"]) or "-"
+                rows.append([
+                    "", "-> reroute",
+                    f"resumed at depth {reroute['resumed_depth']}",
+                    "discarded " + discarded,
+                    "",
+                ])
+        lines.append("")
+        lines.append(render_table(
+            "flight recorder: scheduler decisions",
+            ["step", "chosen", "eligible", "verdict", "db digest"],
+            rows,
+        ))
+    if trace.summary:
+        summary = {k: v for k, v in trace.summary.items() if k != "kind"}
+        lines.append("")
+        lines.append("summary: " + json.dumps(summary, default=repr))
+    return "\n".join(lines)
+
+
+def diff_traces(a: Trace, b: Trace) -> list[str]:
+    """Human-readable differences between two traces ([] when equivalent).
+
+    Compares the decision journals step by step, then the final schedule
+    and database digest — the replay-identity criteria. Spans and timings
+    are deliberately ignored: two runs of the same workflow are *the same
+    run* even when their wall-clock profiles differ.
+    """
+    differences: list[str] = []
+    for index, (da, db_) in enumerate(zip(a.decisions, b.decisions)):
+        for attr in ("chosen", "eligible", "verdict", "digest"):
+            va, vb = getattr(da, attr), getattr(db_, attr)
+            if va != vb:
+                differences.append(
+                    f"decision {index}: {attr} differs: {va!r} vs {vb!r}"
+                )
+    if len(a.decisions) != len(b.decisions):
+        differences.append(
+            f"decision count differs: {len(a.decisions)} vs {len(b.decisions)}"
+        )
+    if a.schedule != b.schedule:
+        differences.append(
+            f"schedule differs: {' -> '.join(a.schedule)} vs "
+            f"{' -> '.join(b.schedule)}"
+        )
+    if a.digest != b.digest:
+        differences.append(f"final digest differs: {a.digest} vs {b.digest}")
+    return differences
+
+
+# -- replay --------------------------------------------------------------------
+
+
+class ReplayDivergenceError(ReproError):
+    """A replayed run diverged from its recorded trace."""
+
+    def __init__(self, step: int, message: str):
+        self.step = step
+        super().__init__(f"replay diverged at decision {step}: {message}")
+
+
+class ReplayStrategy:
+    """An engine strategy that re-picks the recorded decisions in order.
+
+    The surrounding determinism (seeded chaos plan, virtual clock,
+    compiled goal) makes the engine consult the strategy in exactly the
+    recorded sequence; any mismatch between the offered eligible set and
+    the recorded one is a divergence, reported with the step index.
+    """
+
+    def __init__(self, decisions: list[Decision]):
+        self._decisions = decisions
+        self._cursor = 0
+
+    def __call__(self, eligible: frozenset[str], db) -> str:
+        if self._cursor >= len(self._decisions):
+            raise ReplayDivergenceError(
+                self._cursor, "engine asked for more decisions than recorded"
+            )
+        decision = self._decisions[self._cursor]
+        self._cursor += 1
+        if frozenset(decision.eligible) != eligible:
+            raise ReplayDivergenceError(
+                decision.step,
+                f"eligible set {sorted(eligible)} does not match recorded "
+                f"{list(decision.eligible)}",
+            )
+        return decision.chosen
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor == len(self._decisions)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a trace against a freshly-built engine."""
+
+    schedule: tuple[str, ...]
+    digest: str
+    mismatches: tuple[str, ...]
+    report: Any = None
+
+    @property
+    def matches(self) -> bool:
+        return not self.mismatches
+
+
+def replay_trace(trace: Trace) -> ReplayResult:
+    """Re-execute a recorded run and verify it reproduces the trace.
+
+    The header must carry the specification source (``spec``); the chaos
+    plan, retry policies, and seed are rebuilt from it, the engine is
+    driven by a :class:`ReplayStrategy`, and the resulting schedule, final
+    database digest, and resilience counters are compared with the
+    recorded summary.
+    """
+    # Imported lazily: the engine itself imports this package's config.
+    from ..core.engine import WorkflowEngine
+    from ..core.resilience import ChaosOracle, ResiliencePolicy, VirtualClock
+    from ..db.oracle import TransitionOracle
+    from ..spec import parse_specification
+
+    spec_text = trace.header.get("spec")
+    if not spec_text:
+        raise ReproError("trace header carries no specification source")
+    compiled = parse_specification(spec_text).compile()
+
+    clock = VirtualClock()
+    oracle: TransitionOracle | ChaosOracle = TransitionOracle()
+    plan = trace.header.get("chaos")
+    if plan:
+        oracle = ChaosOracle.from_plan(plan, inner=oracle, clock=clock)
+    policies = ResiliencePolicy.from_dict(trace.header.get("policies") or {})
+
+    strategy = ReplayStrategy(trace.decisions)
+    engine = WorkflowEngine(compiled, oracle=oracle, policies=policies,
+                            clock=clock, strategy=strategy)
+    report = engine.run()
+
+    mismatches: list[str] = []
+    if report.schedule != trace.schedule:
+        mismatches.append(
+            f"schedule: replay {' -> '.join(report.schedule)} vs recorded "
+            f"{' -> '.join(trace.schedule)}"
+        )
+    digest = report.database.digest()
+    if trace.digest and digest != trace.digest:
+        mismatches.append(f"digest: replay {digest} vs recorded {trace.digest}")
+    recorded = trace.summary
+    for key, actual in [
+        ("attempts", dict(report.attempts)),
+        ("failures", len(report.failures)),
+        ("reroutes", len(report.reroutes)),
+    ]:
+        expected = recorded.get(key)
+        if expected is not None and expected != actual:
+            mismatches.append(f"{key}: replay {actual!r} vs recorded {expected!r}")
+    if not strategy.exhausted:
+        mismatches.append("replay consumed fewer decisions than recorded")
+    return ReplayResult(
+        schedule=report.schedule,
+        digest=digest,
+        mismatches=tuple(mismatches),
+        report=report,
+    )

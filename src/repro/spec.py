@@ -44,11 +44,12 @@ class Specification:
     rules: RuleBase | None = None
     properties: tuple[tuple[str, Constraint], ...] = field(default=())
 
-    def compile(self):
+    def compile(self, obs=None):
         """Compile via :func:`repro.core.compiler.compile_workflow`."""
         from .core.compiler import compile_workflow
 
-        return compile_workflow(self.goal, list(self.constraints), rules=self.rules)
+        return compile_workflow(self.goal, list(self.constraints),
+                                rules=self.rules, obs=obs)
 
 
 def parse_specification(text: str) -> Specification:

@@ -227,9 +227,37 @@ class TestRetry:
                              clock=clock)
         report = engine.run()
         assert report.attempts["a"] == 2
-        assert report.failures[0].kind == "TimeoutError_"
+        assert report.failures[0].kind == "ActivityTimeoutError"
         # The timed-out attempt's log record was rolled back.
         assert report.database.log.events() == ("a", "b")
+
+    def test_summary_reports_backoff_slept(self):
+        chaos = ChaosOracle()
+        chaos.fail_event("a", attempts=2)
+        policies = ResiliencePolicy(
+            default=RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0)
+        )
+        clock = VirtualClock()
+        engine = make_engine(A >> B, oracle=chaos, policies=policies,
+                             clock=clock)
+        report = engine.run()
+        # Failed attempts 1 and 2 back off 0.1s and 0.2s before succeeding.
+        assert report.backoff == pytest.approx(0.3)
+        assert "backoff: 0.3s slept between retries" in report.summary()
+
+    def test_summary_names_reroute_target(self):
+        chaos = ChaosOracle()
+        chaos.fail_event("a")
+        engine = make_engine((A + B) >> C, oracle=chaos)
+        report = engine.run()
+        assert report.schedule == ("b", "c")
+        assert report.reroutes[0].target == "b"
+        assert "via 'b'" in report.summary()
+
+    def test_untroubled_run_reports_zero_backoff(self):
+        report = make_engine(A >> B).run()
+        assert report.backoff == 0.0
+        assert report.summary() == ""
 
 
 class TestFailover:

@@ -1,13 +1,13 @@
 """Tests for incremental recompilation."""
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.constraints.algebra import absent, must, order
 from repro.core.compiler import compile_workflow
 from repro.core.incremental import add_constraint, add_constraints
 from repro.ctr.formulas import atoms, event_names
-from repro.ctr.traces import traces
+from repro.ctr.traces import TooManyTracesError, traces
 from tests.conftest import constraints_over, unique_event_goals
 
 A, B, C, D = atoms("a b c d")
@@ -74,4 +74,11 @@ class TestEquivalenceWithFullRecompilation:
 
         assert incremental.consistent == batch.consistent
         if batch.consistent:
-            assert traces(incremental.goal) == traces(batch.goal)
+            try:
+                expected = traces(batch.goal)
+                actual = traces(incremental.goal)
+            except TooManyTracesError:
+                # Sync tokens can make the trace set explode combinatorially;
+                # reject such examples rather than time the comparison out.
+                assume(False)
+            assert actual == expected

@@ -1,0 +1,78 @@
+"""Tests for the metrics registry and the percentile helper."""
+
+import pytest
+
+from repro.analysis.metrics import percentile
+from repro.obs import MetricsRegistry
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        assert registry.counter("hits").value == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("hits", -1)
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("size", 10)
+        registry.set_gauge("size", 7)
+        assert registry.gauge("size").value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("latency", float(value))
+        summary = registry.histogram("latency").summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert 49 <= summary["p50"] <= 52
+        assert 94 <= summary["p95"] <= 96
+        assert 98 <= summary["p99"] <= 100
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_to_dict_and_render(self):
+        registry = MetricsRegistry()
+        registry.inc("engine.attempts", 4)
+        registry.set_gauge("compile.arity_d", 2)
+        registry.observe("latency.a", 0.5)
+        data = registry.to_dict()
+        assert data["counters"]["engine.attempts"] == 4
+        assert data["gauges"]["compile.arity_d"] == 2
+        assert data["histograms"]["latency.a"]["count"] == 1
+        text = registry.render()
+        assert "engine.attempts" in text
+        assert "latency.a" in text

@@ -1,0 +1,183 @@
+"""Flight recorder: journaling, round trips, diff, and deterministic replay."""
+
+import io
+
+import pytest
+
+from repro.core.compiler import compile_workflow
+from repro.core.engine import WorkflowEngine
+from repro.core.resilience import (
+    ChaosOracle,
+    ResiliencePolicy,
+    RetryPolicy,
+    VirtualClock,
+)
+from repro.ctr.formulas import atoms
+from repro.obs import (
+    FlightRecorder,
+    Observability,
+    diff_traces,
+    read_trace,
+    render_trace,
+    replay_trace,
+    write_trace,
+)
+from repro.obs.recorder import Decision, ReplayDivergenceError, ReplayStrategy
+
+
+def record_run(goal_text, constraints=(), chaos=None, policies=None,
+               clock=None):
+    """Run a workflow with a recorder attached and return (trace, report).
+
+    Mirrors what ``repro run --trace`` does: header with spec source, chaos
+    plan, and policies; summary with schedule, digest, and counters.
+    """
+    from repro.spec import parse_specification
+
+    spec_lines = [f"goal: {goal_text}"]
+    spec_lines += [f"constraint: {c}" for c in constraints]
+    spec_text = "\n".join(spec_lines) + "\n"
+    spec = parse_specification(spec_text)
+
+    clock = clock or VirtualClock()
+    policies = policies if policies is not None else ResiliencePolicy()
+    obs = Observability.enabled(trace=True, metrics=False, record=True)
+    compiled = spec.compile()
+    engine = WorkflowEngine(compiled, oracle=chaos, policies=policies,
+                            clock=clock, obs=obs)
+    report = engine.run()
+
+    header = {
+        "spec": spec_text,
+        "chaos": chaos.plan() if chaos is not None else None,
+        "policies": policies.to_dict(),
+        "strategy": "first",
+    }
+    summary = {
+        "schedule": list(report.schedule),
+        "digest": report.database.digest(),
+        "attempts": dict(report.attempts),
+        "failures": len(report.failures),
+        "reroutes": len(report.reroutes),
+    }
+    buffer = io.StringIO()
+    write_trace(buffer, header, spans=obs.tracer.spans,
+                recorder=obs.recorder, summary=summary)
+    buffer.seek(0)
+    return read_trace(buffer), report
+
+
+class TestRecorder:
+    def test_decisions_journal_in_order(self):
+        a, b, c = atoms("a b c")
+        compiled = compile_workflow((a + b) >> c)
+        obs = Observability.enabled(trace=False, metrics=False, record=True)
+        WorkflowEngine(compiled, obs=obs).run()
+        decisions = obs.recorder.decisions
+        assert [d.chosen for d in decisions] == ["a", "c"]
+        assert decisions[0].eligible == ("a", "b")
+        assert all(d.verdict == "ok" for d in decisions)
+        assert all(d.digest for d in decisions)
+
+    def test_failed_step_records_dead_verdict_and_reroute(self):
+        a, b, c = atoms("a b c")
+        compiled = compile_workflow((a + b) >> c)
+        chaos = ChaosOracle().fail_event("a")
+        obs = Observability.enabled(trace=False, metrics=False, record=True)
+        report = WorkflowEngine(compiled, oracle=chaos, obs=obs).run()
+        assert report.schedule == ("b", "c")
+        verdicts = [d.verdict for d in obs.recorder.decisions]
+        assert verdicts[0] == "dead:FaultInjected"
+        assert "ok" in verdicts
+        assert len(obs.recorder.reroutes) == 1
+        assert obs.recorder.reroutes[0]["failed_event"] == "a"
+
+    def test_round_trip_and_render(self):
+        trace, _ = record_run("(a + b) * c", chaos=ChaosOracle().fail_event("a"))
+        assert trace.header["format"] == 1
+        assert trace.schedule == ("b", "c")
+        assert len(trace.decisions) == 3  # dead a, then b, then c
+        text = render_trace(trace)
+        assert "flight recorder" in text
+        assert "dead:FaultInjected" in text
+        assert "reroute" in text
+
+
+class TestReplayDeterminism:
+    """The PR's acceptance satellite: a chaotic run replays identically."""
+
+    def test_seeded_chaos_run_replays_identically(self):
+        clock = VirtualClock()
+        chaos = ChaosOracle(clock=clock, seed=1234).fail_rate(0.3)
+        policies = ResiliencePolicy(
+            default=RetryPolicy(max_attempts=4, base_delay=0.05, multiplier=2.0)
+        )
+        trace, report = record_run(
+            "(a + b) * c * d", chaos=chaos, policies=policies, clock=clock
+        )
+        result = replay_trace(trace)
+        assert result.matches, result.mismatches
+        assert result.schedule == report.schedule
+        assert result.digest == report.database.digest()
+        assert dict(result.report.attempts) == dict(report.attempts)
+        assert len(result.report.failures) == len(report.failures)
+        assert len(result.report.reroutes) == len(report.reroutes)
+
+    def test_replay_covers_failover(self):
+        chaos = ChaosOracle(seed=9).fail_event("approve")
+        trace, report = record_run(
+            "receive * (approve + reject) * archive", chaos=chaos
+        )
+        assert report.schedule == ("receive", "reject", "archive")
+        result = replay_trace(trace)
+        assert result.matches, result.mismatches
+
+    def test_tampered_trace_is_detected(self):
+        trace, _ = record_run("a * b")
+        trace.summary["digest"] = "0" * 16
+        result = replay_trace(trace)
+        assert not result.matches
+        assert any("digest" in m for m in result.mismatches)
+
+
+class TestDiff:
+    def test_identical_traces_have_no_diff(self):
+        trace_a, _ = record_run("a * b")
+        trace_b, _ = record_run("a * b")
+        assert diff_traces(trace_a, trace_b) == []
+
+    def test_divergent_schedules_are_reported(self):
+        trace_a, _ = record_run("(a + b) * c")
+        trace_b, _ = record_run("(a + b) * c", chaos=ChaosOracle().fail_event("a"))
+        differences = diff_traces(trace_a, trace_b)
+        assert differences
+        assert any("schedule differs" in d for d in differences)
+
+
+class TestReplayStrategy:
+    def test_rejects_mismatched_eligible_set(self):
+        strategy = ReplayStrategy([Decision(0, ("a", "b"), "a")])
+        with pytest.raises(ReplayDivergenceError):
+            strategy(frozenset({"a", "z"}), None)
+
+    def test_rejects_extra_consultations(self):
+        strategy = ReplayStrategy([])
+        with pytest.raises(ReplayDivergenceError):
+            strategy(frozenset({"a"}), None)
+
+    def test_recorder_sorts_eligible(self):
+        recorder = FlightRecorder()
+        recorder.record(0, frozenset({"z", "a", "m"}), "m", "ok", "d1")
+        assert recorder.decisions[0].eligible == ("a", "m", "z")
+
+
+class TestObservabilityConfig:
+    def test_disabled_is_inactive(self):
+        assert not Observability.disabled().active
+
+    def test_enabled_variants(self):
+        assert Observability.enabled().active
+        only_metrics = Observability.enabled(trace=False, record=False)
+        assert only_metrics.active
+        assert only_metrics.recorder is None
+        assert not only_metrics.tracer.enabled

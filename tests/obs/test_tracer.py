@@ -1,0 +1,99 @@
+"""Tests for the hierarchical span tracer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import NullTracer, Tracer
+from repro.obs.tracer import Span, render_spans
+
+
+class TestTracer:
+    def test_nesting_records_parentage(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans[0], tracer.spans[1]
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.name == "inner" and inner.parent_id == outer.span_id
+
+    def test_span_order_is_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+
+    def test_durations_are_monotonic(self):
+        ticks = iter(range(100))
+        tracer = Tracer(time_source=lambda: float(next(ticks)))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert outer.duration >= inner.duration
+        assert inner.duration >= 0
+
+    def test_attrs_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("work", items=3) as span:
+            span.annotate(result="done")
+        assert tracer.spans[0].attrs == {"items": 3, "result": "done"}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.spans[0]
+        assert span.end is not None
+        assert span.attrs["error"] == "ValueError"
+        # The stack unwound: a new span is again a root.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[1].parent_id is None
+
+    def test_jsonl_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        lines = [json.loads(l) for l in buffer.getvalue().splitlines()]
+        assert len(lines) == 2
+        rebuilt = [Span.from_dict(d) for d in lines]
+        assert [s.name for s in rebuilt] == ["a", "b"]
+        assert rebuilt[0].attrs == {"n": 1}
+        assert rebuilt[1].parent_id == rebuilt[0].span_id
+
+    def test_render_collapses_sibling_runs(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for _ in range(5):
+                with tracer.span("step"):
+                    pass
+        text = render_spans(tracer.spans)
+        assert "step x5" in text
+        assert text.count("step") == 1
+
+
+class TestNullTracer:
+    def test_is_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("anything", key="value") as span:
+            span.annotate(more="stuff")
+        assert tracer.spans == ()
+
+    def test_null_span_is_shared(self):
+        tracer = NullTracer()
+        with tracer.span("a") as first:
+            pass
+        with tracer.span("b") as second:
+            pass
+        assert first is second

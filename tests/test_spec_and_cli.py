@@ -145,3 +145,66 @@ class TestCliDot:
         assert status == 0
         assert output.startswith("digraph")
         assert '"pay"' in output or 'label="pay"' in output
+
+
+CHOICE_SPEC = """\
+goal: receive * (approve + reject) * archive
+"""
+
+
+class TestCliTrace:
+    def test_run_records_and_replay_verifies(self, spec_file, tmp_path):
+        trace = str(tmp_path / "run.jsonl")
+        status, output = run_cli(
+            ["run", spec_file(CHOICE_SPEC), "--trace", trace]
+        )
+        assert status == 0
+        assert f"trace written to {trace}" in output
+
+        status, output = run_cli(["trace", "replay", trace])
+        assert status == 0
+        assert "replay ok" in output
+
+    def test_run_metrics_prints_registry(self, spec_file):
+        status, output = run_cli(["run", spec_file(CHOICE_SPEC), "--metrics"])
+        assert status == 0
+        assert "compile.thm511_ratio" in output
+        assert "latency.receive" in output
+
+    def test_trace_record_equals_run_trace(self, spec_file, tmp_path):
+        trace = str(tmp_path / "rec.jsonl")
+        status, _ = run_cli(["trace", "record", spec_file(CHOICE_SPEC), trace])
+        assert status == 0
+
+        status, output = run_cli(["trace", "show", trace])
+        assert status == 0
+        assert "flight recorder" in output
+        assert "engine.run" in output
+
+    def test_trace_replay_under_chaos(self, spec_file, tmp_path):
+        trace = str(tmp_path / "chaos.jsonl")
+        status, output = run_cli([
+            "run", spec_file(CHOICE_SPEC), "--trace", trace,
+            "--fail", "approve", "--retry", "2", "--backoff", "0.1",
+        ])
+        assert status == 0
+        assert "reroute" in output
+
+        status, output = run_cli(["trace", "replay", trace])
+        assert status == 0
+        assert "replay ok" in output
+
+    def test_trace_diff(self, spec_file, tmp_path):
+        first = str(tmp_path / "first.jsonl")
+        second = str(tmp_path / "second.jsonl")
+        spec = spec_file(CHOICE_SPEC)
+        run_cli(["run", spec, "--trace", first])
+        run_cli(["run", spec, "--trace", second, "--fail", "approve"])
+
+        status, output = run_cli(["trace", "diff", first, first])
+        assert status == 0
+        assert "equivalent" in output
+
+        status, output = run_cli(["trace", "diff", first, second])
+        assert status == 1
+        assert "schedule differs" in output
