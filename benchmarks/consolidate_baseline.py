@@ -1,0 +1,82 @@
+"""Consolidate the benchmark tables into one machine-readable baseline.
+
+The experiment benchmarks (``bench_*.py``) each save an ASCII table under
+``results/<name>.txt``. This script parses every table — title, headers,
+rows (numbers where they parse), and the trailing note with the fitted
+exponents/bases — into ``results/BENCH_baseline.json``, the single
+headline-numbers artifact CI tracks across revisions::
+
+    python benchmarks/consolidate_baseline.py
+
+``BENCH_sharing.json`` (already machine-readable, emitted by
+``bench_sharing.py``) is folded in verbatim when present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_baseline.json"
+
+
+def _coerce(cell: str):
+    cell = cell.strip()
+    for parse in (int, float):
+        try:
+            return parse(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def parse_table(text: str) -> dict:
+    """Parse one ``render_table`` artifact back into title/headers/rows/note."""
+    lines = text.splitlines()
+    title = lines[0].strip()
+    headers = [h.strip() for h in lines[2].split(" | ")]
+    rows = []
+    note_lines = []
+    in_note = False
+    for line in lines[4:]:
+        if not line.strip():
+            in_note = True
+            continue
+        if in_note:
+            note_lines.append(line.strip())
+        else:
+            rows.append([_coerce(c) for c in line.split(" | ")])
+    return {
+        "title": title,
+        "headers": headers,
+        "rows": rows,
+        "note": " ".join(note_lines),
+    }
+
+
+def consolidate(results_dir: Path = RESULTS_DIR) -> dict:
+    baseline: dict = {"experiments": {}}
+    for path in sorted(results_dir.glob("*.txt")):
+        baseline["experiments"][path.stem] = parse_table(path.read_text())
+    sharing = results_dir / "BENCH_sharing.json"
+    if sharing.exists():
+        baseline["sharing"] = json.loads(sharing.read_text())
+    return baseline
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir():
+        print(f"no results directory at {RESULTS_DIR}; "
+              "run the benchmarks first (pytest benchmarks/)")
+        return 1
+    baseline = consolidate()
+    OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {OUTPUT} "
+          f"({len(baseline['experiments'])} experiments"
+          f"{', sharing sweep included' if 'sharing' in baseline else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

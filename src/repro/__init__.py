@@ -51,6 +51,7 @@ from .constraints import (
 )
 from .core import (
     ChaosOracle,
+    CompileCache,
     CompiledWorkflow,
     ResiliencePolicy,
     RetryPolicy,
@@ -91,13 +92,16 @@ from .ctr import (
     alt,
     atom,
     atoms,
+    dag_size,
     event_names,
     goal_size,
+    interning,
     parse_goal,
     par,
     pretty,
     pretty_unicode,
     seq,
+    sharing_ratio,
     traces,
 )
 from .db import Database, Query, TransitionOracle, V
@@ -123,15 +127,16 @@ __all__ = [
     # ctr
     "Goal", "Atom", "Serial", "Concurrent", "Choice", "Isolated", "Possibility",
     "Test", "EMPTY", "NEG_PATH", "atom", "atoms", "seq", "par", "alt",
-    "goal_size", "event_names", "traces", "parse_goal", "pretty",
-    "pretty_unicode", "Rule", "RuleBase",
+    "goal_size", "dag_size", "sharing_ratio", "interning", "event_names",
+    "traces", "parse_goal", "pretty", "pretty_unicode", "Rule", "RuleBase",
     # constraints
     "Constraint", "must", "absent", "serial", "order", "conj", "disj",
     "negate", "normalize", "to_dnf", "satisfies", "Verdict", "PrefixEvaluator",
     "klein_order", "klein_existence", "causes", "requires_prior",
     "mutually_exclusive", "Task", "parse_constraint",
     # core
-    "compile_workflow", "CompiledWorkflow", "Scheduler", "WorkflowEngine",
+    "compile_workflow", "CompiledWorkflow", "CompileCache", "Scheduler",
+    "WorkflowEngine",
     "ResiliencePolicy", "RetryPolicy", "ChaosOracle", "VirtualClock",
     "apply_constraint", "apply_all", "excise", "is_consistent",
     "verify_property", "VerificationResult", "is_redundant",

@@ -20,8 +20,7 @@ from ..ctr.formulas import (
     Goal,
     Receive,
     Send,
-    goal_size,
-    walk,
+    subgoals,
 )
 
 __all__ = [
@@ -36,36 +35,73 @@ __all__ = [
 
 @dataclass(frozen=True)
 class GoalStats:
-    """Structural statistics of a goal."""
+    """Structural statistics of a goal.
+
+    ``size``/``events``/``choices``/``tokens`` are *tree* counts (the
+    measures the theorems speak about — a shared subterm counts once per
+    occurrence); ``dag_size`` is the number of distinct nodes actually
+    allocated under hash-consing, and ``sharing`` is their ratio
+    (``size / dag_size``; 1.0 means no structural sharing).
+    """
 
     size: int
     events: int
     choices: int
     tokens: int
     max_parallel_width: int
+    dag_size: int = 0
+    sharing: float = 1.0
 
 
 def goal_stats(goal: Goal) -> GoalStats:
-    """Count the structural features of ``goal`` relevant to the theorems."""
-    events = 0
-    choices = 0
-    tokens = 0
+    """Count the structural features of ``goal`` relevant to the theorems.
+
+    Tree counts are computed over the shared DAG — each distinct node's
+    subtree totals are computed once — so this is O(dag_size) time even on
+    ``d^N``-tree-sized compiled goals.
+    """
+    # Per distinct node: (size, events, choices, tokens), tree-weighted.
+    totals: dict[int, tuple[int, int, int, int]] = {}
     width = 1
-    for node in walk(goal):
+    distinct = 0
+    stack = [goal]
+    while stack:
+        node = stack[-1]
+        if id(node) in totals:
+            stack.pop()
+            continue
+        children = subgoals(node)
+        pending = [c for c in children if id(c) not in totals]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        distinct += 1
+        size, events, choices, tokens = 1, 0, 0, 0
         if isinstance(node, Atom):
-            events += 1
+            events = 1
         elif isinstance(node, Choice):
-            choices += 1
+            choices = 1
         elif isinstance(node, (Send, Receive)):
-            tokens += 1
+            tokens = 1
         elif isinstance(node, Concurrent):
             width = max(width, len(node.parts))
+        for child in children:
+            c_size, c_events, c_choices, c_tokens = totals[id(child)]
+            size += c_size
+            events += c_events
+            choices += c_choices
+            tokens += c_tokens
+        totals[id(node)] = (size, events, choices, tokens)
+    size, events, choices, tokens = totals[id(goal)]
     return GoalStats(
-        size=goal_size(goal),
+        size=size,
         events=events,
         choices=choices,
         tokens=tokens,
         max_parallel_width=width,
+        dag_size=distinct,
+        sharing=size / distinct,
     )
 
 

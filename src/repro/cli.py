@@ -13,6 +13,12 @@
 on success, 1 when the specification is inconsistent, a property fails,
 or the file cannot be parsed.
 
+Every spec command accepts ``--cache-dir DIR`` (default:
+``$REPRO_CACHE_DIR`` when set) to serve repeated compilations of
+unchanged specifications from the persistent
+:class:`~repro.core.compiler.CompileCache`, and ``--no-cache`` to force
+a from-scratch compile.
+
 ``run --trace FILE`` records the run — spans, every scheduler decision,
 and the final summary — into a JSONL flight-recorder trace whose header
 embeds the specification, chaos plan, and retry policies, so ``repro
@@ -54,6 +60,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ]:
         command = sub.add_parser(name, help=help_text)
         command.add_argument("spec", help="path to a workflow specification file")
+        command.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="persistent compile cache directory "
+                 "(default: $REPRO_CACHE_DIR if set)",
+        )
+        command.add_argument(
+            "--no-cache", action="store_true",
+            help="compile from scratch, ignoring any cache directory",
+        )
         if name == "schedules":
             command.add_argument(
                 "--limit", type=int, default=100, help="maximum schedules to print"
@@ -122,15 +137,34 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_check(spec: Specification, out) -> int:
-    compiled = spec.compile()
+def _cache_from_args(args):
+    """Resolve ``--cache-dir``/``--no-cache``/``$REPRO_CACHE_DIR`` to a cache.
+
+    Precedence: ``--no-cache`` wins, then an explicit ``--cache-dir``, then
+    the ``REPRO_CACHE_DIR`` environment variable. Returns ``None`` (caching
+    disabled) when no directory is configured.
+    """
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    directory = getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        return None
+    from .core.compiler import CompileCache
+
+    return CompileCache(directory)
+
+
+def _cmd_check(spec: Specification, out, cache=None) -> int:
+    compiled = spec.compile(cache=cache)
     report = analyze(compiled)
     print(report.describe(), file=out)
     return 0 if compiled.consistent else 1
 
 
-def _cmd_schedules(spec: Specification, out, limit: int) -> int:
-    compiled = spec.compile()
+def _cmd_schedules(spec: Specification, out, limit: int, cache=None) -> int:
+    compiled = spec.compile(cache=cache)
     if not compiled.consistent:
         print("inconsistent: no allowed executions", file=out)
         return 1
@@ -144,14 +178,15 @@ def _cmd_schedules(spec: Specification, out, limit: int) -> int:
     return 0
 
 
-def _cmd_verify(spec: Specification, out) -> int:
+def _cmd_verify(spec: Specification, out, cache=None) -> int:
     if not spec.properties:
         print("specification declares no properties", file=out)
         return 0
     failures = 0
     for name, prop in spec.properties:
         result = verify_property(
-            spec.goal, list(spec.constraints), prop, rules=spec.rules
+            spec.goal, list(spec.constraints), prop, rules=spec.rules,
+            cache=cache,
         )
         status = "HOLDS" if result.holds else "FAILS"
         print(f"[{status}] {name}: {prop}", file=out)
@@ -176,7 +211,7 @@ def _cmd_run(spec: Specification, out, args) -> int:
                                     metrics=want_metrics,
                                     record=bool(trace_path))
 
-    compiled = spec.compile(obs=obs)
+    compiled = spec.compile(obs=obs, cache=_cache_from_args(args))
     if not compiled.consistent:
         print("inconsistent: nothing to run", file=out)
         return 1
@@ -290,31 +325,33 @@ def _cmd_trace(args, out) -> int:
     return 1
 
 
-def _cmd_dot(spec: Specification, out) -> int:
+def _cmd_dot(spec: Specification, out, cache=None) -> int:
     from .graph.dot import goal_to_dot
 
-    compiled = spec.compile()
+    compiled = spec.compile(cache=cache)
     print(goal_to_dot(compiled.goal if compiled.consistent else compiled.source),
           file=out)
     return 0 if compiled.consistent else 1
 
 
-def _cmd_show(spec: Specification, out) -> int:
-    compiled = spec.compile()
+def _cmd_show(spec: Specification, out, cache=None) -> int:
+    from .ctr.formulas import goal_size
+
+    compiled = spec.compile(cache=cache)
     print("source:  ", pretty(compiled.source), file=out)
     print("compiled:", pretty(compiled.goal), file=out)
     print(
-        f"sizes:    |G|={len(list(_walk(compiled.source)))}"
+        f"sizes:    |G|={goal_size(compiled.source)}"
         f" |Apply|={compiled.applied_size} |compiled|={compiled.compiled_size}",
         file=out,
     )
+    print(
+        f"sharing:  dag(Apply)={compiled.applied_dag_size}"
+        f" dag(compiled)={compiled.compiled_dag_size}"
+        f" ratio={compiled.sharing_ratio:.2f}x",
+        file=out,
+    )
     return 0 if compiled.consistent else 1
-
-
-def _walk(goal):
-    from .ctr.formulas import walk
-
-    return walk(goal)
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -325,17 +362,18 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if args.command == "trace":
             return _cmd_trace(args, out)
         spec = load_specification(args.spec)
+        cache = _cache_from_args(args)
         if args.command == "check":
-            return _cmd_check(spec, out)
+            return _cmd_check(spec, out, cache=cache)
         if args.command == "schedules":
-            return _cmd_schedules(spec, out, args.limit)
+            return _cmd_schedules(spec, out, args.limit, cache=cache)
         if args.command == "verify":
-            return _cmd_verify(spec, out)
+            return _cmd_verify(spec, out, cache=cache)
         if args.command == "run":
             return _cmd_run(spec, out, args)
         if args.command == "dot":
-            return _cmd_dot(spec, out)
-        return _cmd_show(spec, out)
+            return _cmd_dot(spec, out, cache=cache)
+        return _cmd_show(spec, out, cache=cache)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

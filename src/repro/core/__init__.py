@@ -22,7 +22,7 @@ from .static import (
     mandatory_events,
     possible_events,
 )
-from .compiler import CompiledWorkflow, compile_workflow
+from .compiler import CompileCache, CompiledWorkflow, compile_workflow
 from .engine import ExecutionReport, WorkflowEngine, first_strategy, random_strategy
 from .excise import ExciseStats, excise, flat_executable, has_knot
 from .explain import Rejection, explain_rejection, is_allowed
@@ -58,6 +58,7 @@ __all__ = [
     "flat_executable",
     "compile_workflow",
     "CompiledWorkflow",
+    "CompileCache",
     "Scheduler",
     "SchedulerMark",
     "SchedulerStats",

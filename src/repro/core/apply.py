@@ -27,6 +27,17 @@ just without building the intermediate garbage.
 Because the smart constructors ``seq``/``par``/``alt`` absorb ``¬path``
 eagerly (the tautologies of Section 5), the result of :func:`apply_constraint`
 is always either a concurrent-Horn goal or the literal ``NEG_PATH``.
+
+Sharing-awareness: goals are hash-consed, so the ``C₁ ∨ C₂`` duplication
+produces branches that *share* every untouched subterm. One
+:class:`_ApplyMemo` per ``apply_all``/``apply_constraint`` invocation
+memoises the primitive cases per ``(event, node)`` and whole token-free
+subproblems per ``(constraint, node)``, so each shared node is transformed
+once no matter how many of the ``d^N`` branches contain it. Subproblems
+that mint synchronization tokens (any constraint containing a serial/order
+part) are **never** cached: every application must draw a fresh token from
+the :class:`~repro.core.sync.TokenFactory`, and replaying a cached result
+would duplicate a token and break send/receive freshness.
 """
 
 from __future__ import annotations
@@ -52,6 +63,37 @@ from .sync import TokenFactory, sync_order
 __all__ = ["apply_constraint", "apply_all"]
 
 
+class _ApplyMemo:
+    """Per-run memo tables: one instance per top-level Apply invocation.
+
+    ``must``/``never`` map ``(event, node) -> transformed node`` for the
+    primitive cases (always pure). ``subproblem`` maps
+    ``(constraint, node) -> transformed node`` for token-free constraint
+    applications. ``token_free`` caches, per constraint object, whether it
+    is safe to memoise at all.
+    """
+
+    __slots__ = ("must", "never", "subproblem", "token_free")
+
+    def __init__(self) -> None:
+        self.must: dict[tuple[str, Goal], Goal] = {}
+        self.never: dict[tuple[str, Goal], Goal] = {}
+        self.subproblem: dict[tuple[Constraint, Goal], Goal] = {}
+        self.token_free: dict[Constraint, bool] = {}
+
+    def is_token_free(self, constraint: Constraint) -> bool:
+        cached = self.token_free.get(constraint)
+        if cached is None:
+            if isinstance(constraint, SerialConstraint):
+                cached = False
+            elif isinstance(constraint, (And, Or)):
+                cached = all(self.is_token_free(p) for p in constraint.parts)
+            else:
+                cached = True
+            self.token_free[constraint] = cached
+        return cached
+
+
 def apply_constraint(
     constraint: Constraint, goal: Goal, tokens: TokenFactory | None = None
 ) -> Goal:
@@ -65,7 +107,7 @@ def apply_constraint(
         tokens = TokenFactory()
     from ..ctr.simplify import simplify
 
-    return simplify(_apply(normalize(constraint), goal, tokens))
+    return simplify(_apply(normalize(constraint), goal, tokens, _ApplyMemo()))
 
 
 def apply_all(
@@ -86,61 +128,84 @@ def apply_all(
     from ..ctr.formulas import goal_size
     from ..ctr.simplify import simplify
 
+    memo = _ApplyMemo()
     result = goal
     for index, constraint in enumerate(constraints):
         if tracer is None:
-            result = _apply(normalize(constraint), result, tokens)
+            result = _apply(normalize(constraint), result, tokens, memo)
         else:
             with tracer.span("apply.constraint", index=index,
                              constraint=str(constraint)) as span:
-                result = _apply(normalize(constraint), result, tokens)
+                result = _apply(normalize(constraint), result, tokens, memo)
                 span.annotate(size_after=goal_size(result))
         if isinstance(result, NegPath):
             return NEG_PATH
     return simplify(result)
 
 
-def _apply(constraint: Constraint, goal: Goal, tokens: TokenFactory) -> Goal:
+def _apply(
+    constraint: Constraint, goal: Goal, tokens: TokenFactory, memo: _ApplyMemo
+) -> Goal:
     if isinstance(goal, NegPath):
         return NEG_PATH
 
     if isinstance(constraint, Primitive):
         if constraint.positive:
-            return _apply_must(constraint.event, goal)
-        return _apply_never(constraint.event, goal)
+            return _apply_must(constraint.event, goal, memo)
+        return _apply_never(constraint.event, goal, memo)
 
     if isinstance(constraint, SerialConstraint):
         # normalize() guarantees exactly two events here.
         alpha, beta = constraint.events
-        forced = _apply_must(alpha, _apply_must(beta, goal))
+        forced = _apply_must(alpha, _apply_must(beta, goal, memo), memo)
         if isinstance(forced, NegPath):
             return NEG_PATH
         return sync_order(alpha, beta, forced, tokens.fresh())
 
+    cacheable = memo.is_token_free(constraint)
+    if cacheable:
+        key = (constraint, goal)
+        cached = memo.subproblem.get(key)
+        if cached is not None:
+            return cached
+
     if isinstance(constraint, And):
-        result = goal
+        result: Goal = goal
         for part in constraint.parts:
-            result = _apply(part, result, tokens)
+            result = _apply(part, result, tokens, memo)
             if isinstance(result, NegPath):
-                return NEG_PATH
-        return result
+                result = NEG_PATH
+                break
+    elif isinstance(constraint, Or):
+        result = alt(*(_apply(part, goal, tokens, memo) for part in constraint.parts))
+    else:
+        raise TypeError(f"cannot apply {type(constraint).__name__}")  # pragma: no cover
 
-    if isinstance(constraint, Or):
-        return alt(*(_apply(part, goal, tokens) for part in constraint.parts))
+    if cacheable:
+        memo.subproblem[key] = result
+    return result
 
-    raise TypeError(f"cannot apply {type(constraint).__name__}")  # pragma: no cover
 
-
-def _apply_must(alpha: str, goal: Goal) -> Goal:
+def _apply_must(alpha: str, goal: Goal, memo: _ApplyMemo) -> Goal:
     """``Apply(∇α, T)``: keep exactly the executions of ``T`` where ``α`` occurs."""
     if isinstance(goal, Atom):
         return goal if goal.name == alpha else NEG_PATH
 
+    key = (alpha, goal)
+    cached = memo.must.get(key)
+    if cached is not None:
+        return cached
+    result = _apply_must_uncached(alpha, goal, memo)
+    memo.must[key] = result
+    return result
+
+
+def _apply_must_uncached(alpha: str, goal: Goal, memo: _ApplyMemo) -> Goal:
     if isinstance(goal, Serial):
         parts = goal.parts
         branches = []
         for i, part in enumerate(parts):
-            transformed = _apply_must(alpha, part)
+            transformed = _apply_must(alpha, part, memo)
             if isinstance(transformed, NegPath):
                 continue
             branches.append(seq(*parts[:i], transformed, *parts[i + 1:]))
@@ -150,17 +215,17 @@ def _apply_must(alpha: str, goal: Goal) -> Goal:
         parts = goal.parts
         branches = []
         for i, part in enumerate(parts):
-            transformed = _apply_must(alpha, part)
+            transformed = _apply_must(alpha, part, memo)
             if isinstance(transformed, NegPath):
                 continue
             branches.append(par(*parts[:i], transformed, *parts[i + 1:]))
         return alt(*branches) if branches else NEG_PATH
 
     if isinstance(goal, Choice):
-        return alt(*(_apply_must(alpha, part) for part in goal.parts))
+        return alt(*(_apply_must(alpha, part, memo) for part in goal.parts))
 
     if isinstance(goal, Isolated):
-        body = _apply_must(alpha, goal.body)
+        body = _apply_must(alpha, goal.body, memo)
         return NEG_PATH if isinstance(body, NegPath) else Isolated(body)
 
     if isinstance(goal, Possibility):
@@ -172,26 +237,30 @@ def _apply_must(alpha: str, goal: Goal) -> Goal:
     return NEG_PATH
 
 
-def _apply_never(alpha: str, goal: Goal) -> Goal:
+def _apply_never(alpha: str, goal: Goal, memo: _ApplyMemo) -> Goal:
     """``Apply(¬∇α, T)``: delete the executions of ``T`` where ``α`` occurs."""
     if isinstance(goal, Atom):
         return NEG_PATH if goal.name == alpha else goal
 
+    key = (alpha, goal)
+    cached = memo.never.get(key)
+    if cached is not None:
+        return cached
+
     if isinstance(goal, Serial):
-        return seq(*(_apply_never(alpha, part) for part in goal.parts))
-
-    if isinstance(goal, Concurrent):
-        return par(*(_apply_never(alpha, part) for part in goal.parts))
-
-    if isinstance(goal, Choice):
-        return alt(*(_apply_never(alpha, part) for part in goal.parts))
-
-    if isinstance(goal, Isolated):
-        body = _apply_never(alpha, goal.body)
-        return NEG_PATH if isinstance(body, NegPath) else Isolated(body)
-
-    if isinstance(goal, Possibility):
+        result: Goal = seq(*(_apply_never(alpha, part, memo) for part in goal.parts))
+    elif isinstance(goal, Concurrent):
+        result = par(*(_apply_never(alpha, part, memo) for part in goal.parts))
+    elif isinstance(goal, Choice):
+        result = alt(*(_apply_never(alpha, part, memo) for part in goal.parts))
+    elif isinstance(goal, Isolated):
+        body = _apply_never(alpha, goal.body, memo)
+        result = NEG_PATH if isinstance(body, NegPath) else Isolated(body)
+    elif isinstance(goal, Possibility):
         # Hypothetical occurrences of α are not occurrences; keep the test.
-        return goal
+        result = goal
+    else:
+        result = goal
 
-    return goal
+    memo.never[key] = result
+    return result

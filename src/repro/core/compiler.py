@@ -14,14 +14,30 @@ allowed executions" of Section 4. From it one can
   run-time constraint checking;
 * enumerate allowed executions (each in time linear in the original
   graph).
+
+Compilation is the expensive step (Apply alone is ``O(d^N·|G|)``), and a
+workflow specification is a *value*: the same file compiles to the same
+result every time. :class:`CompileCache` exploits that with a
+content-addressed on-disk cache — the key is a digest of the (rule-expanded
+input, constraint set, format version), the value is the serialized
+:class:`CompiledWorkflow` — so repeated ``run``/``verify`` invocations of
+an unchanged spec skip Apply+Excise entirely. Deserialized goals are
+rebuilt through the hash-consing constructors, so a cache hit yields fully
+interned, maximally shared goals. Entries are evicted LRU beyond
+``max_entries``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..constraints.algebra import Constraint
-from ..ctr.formulas import Goal, goal_size
+from ..ctr.formulas import Goal, dag_size, goal_size
 from ..ctr.rules import RuleBase
 from ..ctr.simplify import is_failure, simplify
 from ..ctr.unique import check_unique_events
@@ -30,7 +46,7 @@ from .apply import apply_all
 from .excise import excise
 from .sync import TokenFactory
 
-__all__ = ["CompiledWorkflow", "compile_workflow"]
+__all__ = ["CompiledWorkflow", "CompileCache", "compile_workflow"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,24 @@ class CompiledWorkflow:
     def compiled_size(self) -> int:
         return goal_size(self.goal)
 
+    @property
+    def applied_dag_size(self) -> int:
+        """Distinct nodes of ``Apply(C, G)`` — its allocated size under sharing."""
+        return dag_size(self.applied)
+
+    @property
+    def compiled_dag_size(self) -> int:
+        return dag_size(self.goal)
+
+    @property
+    def sharing_ratio(self) -> float:
+        """``applied_size / applied_dag_size`` — the structural-sharing factor.
+
+        Theorem 5.11's ``d^N`` blow-up lives in the *tree* measure; this
+        ratio is how much of it hash-consing absorbed for this compile.
+        """
+        return self.applied_size / max(self.applied_dag_size, 1)
+
     def require_consistent(self) -> "CompiledWorkflow":
         """Raise :class:`~repro.errors.InconsistentWorkflowError` if inconsistent."""
         if not self.consistent:
@@ -92,11 +126,155 @@ class CompiledWorkflow:
         return Scheduler(self.goal).enumerate_schedules(limit=limit)
 
 
+# -- the persistent compile cache ---------------------------------------------
+
+# Bump whenever the compiled representation or the pipeline semantics
+# change: stale-format entries then simply miss and get recompiled.
+_CACHE_FORMAT = 1
+
+
+class CompileCache:
+    """Content-addressed on-disk cache of :class:`CompiledWorkflow` results.
+
+    The key is a SHA-256 digest of the canonical JSON encoding of the
+    *input* — rule-expanded goal, constraint set, and the cache format
+    version — so any change to the specification changes the key. The value
+    stores the result's goals in the shared (DAG) encoding of
+    :func:`~repro.ctr.serialize.goal_to_shared_dict` — O(dag_size) bytes
+    even for ``d^N``-tree-sized compiled goals — and re-interns on load
+    (deserialization runs through the hash-consed constructors), so a hit
+    returns maximally shared goals.
+
+    Eviction is LRU by file mtime, bounded by ``max_entries``; loads touch
+    the entry. Corrupt or unreadable entries are treated as misses and
+    removed. Specifications containing :class:`~repro.ctr.formulas.Test`
+    nodes with attached predicates are *uncacheable* (a callable cannot be
+    content-addressed) and silently bypass the cache.
+    """
+
+    def __init__(self, directory: str | os.PathLike, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.directory = Path(directory)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------------
+
+    def key(
+        self,
+        goal: Goal,
+        constraints: tuple[Constraint, ...] | list[Constraint] = (),
+    ) -> str | None:
+        """Digest of the compilation input, or ``None`` if uncacheable."""
+        from ..ctr.formulas import Test, walk_unique
+        from ..ctr.serialize import constraint_to_dict, goal_to_dict
+
+        for node in walk_unique(goal):
+            if isinstance(node, Test) and node.predicate is not None:
+                return None
+        payload = {
+            "format": _CACHE_FORMAT,
+            "goal": goal_to_dict(goal),
+            "constraints": [constraint_to_dict(c) for c in constraints],
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- load/store -----------------------------------------------------------
+
+    def load(self, key: str) -> CompiledWorkflow | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        from ..ctr.serialize import constraint_from_dict, goals_from_shared_dict
+
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            goals = goals_from_shared_dict(data["goals"])
+            result = CompiledWorkflow(
+                source=goals["source"],
+                constraints=tuple(
+                    constraint_from_dict(c) for c in data["constraints"]
+                ),
+                applied=goals["applied"],
+                goal=goals["goal"],
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt entry (partial write, foreign file, format drift):
+            # drop it and recompile.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # bump LRU recency
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+        self.hits += 1
+        return result
+
+    def store(self, key: str, compiled: CompiledWorkflow) -> None:
+        """Persist ``compiled`` under ``key`` (atomic write), then evict LRU.
+
+        Goals are written in the shared (DAG) encoding — one node table
+        covering source/applied/goal at once — so an entry is O(dag_size)
+        on disk even when the compiled tree is ``d^N``-sized, and subterms
+        common to the three sections are stored once.
+        """
+        from ..ctr.serialize import constraint_to_dict, goals_to_shared_dict
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _CACHE_FORMAT,
+            "constraints": [constraint_to_dict(c) for c in compiled.constraints],
+            "goals": goals_to_shared_dict({
+                "source": compiled.source,
+                "applied": compiled.applied,
+                "goal": compiled.goal,
+            }),
+        }
+        encoded = json.dumps(payload, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+        )
+        for stale in entries[: max(0, len(entries) - self.max_entries)]:
+            stale.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    @classmethod
+    def coerce(
+        cls, cache: "CompileCache | str | os.PathLike | None"
+    ) -> "CompileCache | None":
+        if cache is None or isinstance(cache, cls):
+            return cache
+        return cls(cache)
+
+
 def compile_workflow(
     goal: Goal,
     constraints: list[Constraint] | tuple[Constraint, ...] = (),
     rules: RuleBase | None = None,
     obs=None,
+    cache: CompileCache | str | os.PathLike | None = None,
 ) -> CompiledWorkflow:
     """Compile a workflow specification ``G ∧ C`` into executable form.
 
@@ -108,24 +286,51 @@ def compile_workflow(
     ``obs`` (an :class:`~repro.obs.config.Observability`) times each phase
     of the pipeline as a span (``compile`` → ``expand``/``apply``/
     ``excise``) and records the size accounting of Theorem 5.11 — goal
-    size before and after Apply and Excise, knots excised, the constraint
-    count ``N`` and arity ``d``, and the measured ``|Apply(C,G)| /
-    (d^N·|G|)`` ratio — into the metrics registry on every compile.
+    size before and after Apply and Excise (tree *and* DAG measures, plus
+    the sharing ratio), knots excised, the constraint count ``N`` and
+    arity ``d``, and the measured ``|Apply(C,G)| / (d^N·|G|)`` ratio —
+    into the metrics registry on every compile.
+
+    ``cache`` (a :class:`CompileCache` or a directory path) consults the
+    persistent compile cache before doing any work; hits skip rule
+    expansion, the unique-event check, Apply, and Excise. The cache key is
+    computed on the *rule-expanded* goal, so editing a rule invalidates
+    dependent specifications too.
     """
+    cache = CompileCache.coerce(cache)
+    key = None
+    if cache is not None:
+        expanded_for_key = rules.expand(goal) if rules is not None else goal
+        expanded_for_key = simplify(expanded_for_key)
+        key = cache.key(expanded_for_key, tuple(constraints))
+        if key is not None:
+            hit = cache.load(key)
+            if hit is not None:
+                if obs is not None and obs.active and obs.metrics is not None:
+                    obs.metrics.inc("compile.cache_hits")
+                    _record_compile_metrics(obs.metrics, hit, None)
+                return hit
+        if obs is not None and obs.active and obs.metrics is not None:
+            obs.metrics.inc("compile.cache_misses")
+
     if obs is not None and obs.active:
-        return _compile_observed(goal, constraints, rules, obs)
-    expanded = rules.expand(goal) if rules is not None else goal
-    expanded = simplify(expanded)
-    check_unique_events(expanded)
-    tokens = TokenFactory()
-    applied = apply_all(list(constraints), expanded, tokens)
-    compiled = excise(applied)
-    return CompiledWorkflow(
-        source=expanded,
-        constraints=tuple(constraints),
-        applied=applied,
-        goal=compiled,
-    )
+        result = _compile_observed(goal, constraints, rules, obs)
+    else:
+        expanded = rules.expand(goal) if rules is not None else goal
+        expanded = simplify(expanded)
+        check_unique_events(expanded)
+        tokens = TokenFactory()
+        applied = apply_all(list(constraints), expanded, tokens)
+        compiled = excise(applied)
+        result = CompiledWorkflow(
+            source=expanded,
+            constraints=tuple(constraints),
+            applied=applied,
+            goal=compiled,
+        )
+    if cache is not None and key is not None:
+        cache.store(key, result)
+    return result
 
 
 def _compile_observed(goal, constraints, rules, obs) -> CompiledWorkflow:
@@ -172,6 +377,11 @@ def _record_compile_metrics(metrics, compiled: CompiledWorkflow, stats) -> None:
     metrics.set_gauge("compile.source_size", source_size)
     metrics.set_gauge("compile.applied_size", compiled.applied_size)
     metrics.set_gauge("compile.compiled_size", compiled.compiled_size)
+    # DAG-aware accounting: what hash-consing actually allocated, and how
+    # much of the d^N tree blow-up it absorbed.
+    metrics.set_gauge("compile.applied_dag_size", compiled.applied_dag_size)
+    metrics.set_gauge("compile.compiled_dag_size", compiled.compiled_dag_size)
+    metrics.set_gauge("compile.sharing_ratio", compiled.sharing_ratio)
     metrics.set_gauge("compile.constraints_N", n)
     metrics.set_gauge("compile.arity_d", d)
     metrics.set_gauge("compile.bound_dN_G", bound)

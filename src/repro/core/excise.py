@@ -44,6 +44,7 @@ Choices distribute: ``Excise(G₁ ∨ G₂) = Excise(G₁) ∨ Excise(G₂)``. A
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
 
 from ..ctr.formulas import (
@@ -91,6 +92,12 @@ class ExciseStats:
 # is single-threaded per pass.
 _stats: ExciseStats | None = None
 
+# Per-run memo of flat_executable verdicts, keyed by (shared) node. Set up
+# by the outermost `excise` call and inherited by re-entrant calls (◇
+# bodies, entangled-combo resolution), so one pass never rebuilds the
+# precedence graph of the same shared subgoal twice.
+_flat_memo: dict[Goal, bool] | None = None
+
 
 def excise(goal: Goal, stats: ExciseStats | None = None) -> Goal:
     """Remove every knotted sub-formula; return the pruned goal or ``¬path``.
@@ -98,14 +105,16 @@ def excise(goal: Goal, stats: ExciseStats | None = None) -> Goal:
     Pass an :class:`ExciseStats` to collect how much pruning the pass did;
     the default collects nothing and adds no work.
     """
-    global _stats
-    if stats is None:
-        return _excise(goal)
-    previous, _stats = _stats, stats
+    global _stats, _flat_memo
+    previous_stats, previous_memo = _stats, _flat_memo
+    if stats is not None:
+        _stats = stats
+    if _flat_memo is None:
+        _flat_memo = {}
     try:
         return _excise(goal)
     finally:
-        _stats = previous
+        _stats, _flat_memo = previous_stats, previous_memo
 
 
 def has_knot(goal: Goal) -> bool:
@@ -278,13 +287,36 @@ def _topmost_choices(goal: Goal) -> list[tuple[int, ...]]:
 # -- token bookkeeping ---------------------------------------------------------
 
 
+# token-uses is a pure function of structure; a weak cache keyed by the
+# (hash-consed) node makes the repeated entanglement checks DAG-sized:
+# `_tokens_crossing` re-walks the goal once per topmost choice, but every
+# shared subterm's answer is computed once and reused across walks, runs,
+# and incremental recompilations.
+_TOKEN_USES_CACHE: "weakref.WeakKeyDictionary[Goal, tuple[frozenset[str], frozenset[str]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _token_uses(goal: Goal) -> tuple[frozenset[str], frozenset[str]]:
     """(tokens sent, tokens received) anywhere inside ``goal``."""
+    cached = _TOKEN_USES_CACHE.get(goal)
+    if cached is not None:
+        return cached
     sends: set[str] = set()
     receives: set[str] = set()
+    seen: set[int] = set()
     stack = [goal]
     while stack:
         node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node is not goal:
+            sub = _TOKEN_USES_CACHE.get(node)
+            if sub is not None:
+                sends |= sub[0]
+                receives |= sub[1]
+                continue
         if isinstance(node, Send):
             sends.add(node.token)
         elif isinstance(node, Receive):
@@ -293,7 +325,12 @@ def _token_uses(goal: Goal) -> tuple[frozenset[str], frozenset[str]]:
             continue  # hypothetical: no real tokens
         else:
             stack.extend(_children(node))
-    return frozenset(sends), frozenset(receives)
+    result = (frozenset(sends), frozenset(receives))
+    try:
+        _TOKEN_USES_CACHE[goal] = result
+    except TypeError:  # pragma: no cover - non-weakrefable future node
+        pass
+    return result
 
 
 def _tokens_crossing(goal: Goal, path: tuple[int, ...]) -> bool:
@@ -431,11 +468,25 @@ def flat_executable(goal: Goal) -> bool:
 
     Also validates every ``◇`` body (a possibility test over an
     inconsistent goal can never pass, making the enclosing execution dead).
+
+    Within one :func:`excise` run, verdicts are memoised per shared node —
+    the entangled-combo enumeration asks about the same resolved subgoals
+    over and over, and hash-consing makes those subgoals *the same object*.
     """
     if isinstance(goal, NegPath):
         return False
     if isinstance(goal, Empty):
         return True
+    memo = _flat_memo
+    if memo is not None and goal in memo:
+        return memo[goal]
+    result = _flat_executable(goal)
+    if memo is not None:
+        memo[goal] = result
+    return result
+
+
+def _flat_executable(goal: Goal) -> bool:
     for body in _possibility_bodies(goal):
         if isinstance(excise(body), NegPath):
             return False

@@ -19,32 +19,33 @@ compiled goal so fresh ``send``/``receive`` pairs never collide.
 
 from __future__ import annotations
 
-import re
-
 from ..constraints.algebra import Constraint
-from ..ctr.formulas import Goal, Receive, Send, walk
+from ..ctr.formulas import Goal, Receive, Send, walk_unique
 from .apply import apply_all
 from .compiler import CompiledWorkflow
 from .excise import excise
 from .sync import TokenFactory
 
-__all__ = ["add_constraints", "add_constraint"]
+__all__ = ["used_tokens", "add_constraints", "add_constraint"]
 
-_TOKEN_NUMBER = re.compile(r"^xi(\d+)$")
+
+def used_tokens(goal: Goal) -> frozenset[str]:
+    """Every token named by a ``send``/``receive`` node of ``goal``."""
+    return frozenset(
+        node.token for node in walk_unique(goal)
+        if isinstance(node, (Send, Receive))
+    )
 
 
 def _next_free_token_factory(goal: Goal) -> TokenFactory:
-    """A factory whose fresh tokens avoid every token already in ``goal``."""
-    highest = 0
-    for node in walk(goal):
-        if isinstance(node, (Send, Receive)):
-            match = _TOKEN_NUMBER.match(node.token)
-            if match:
-                highest = max(highest, int(match.group(1)))
-    factory = TokenFactory()
-    for _ in range(highest):
-        factory.fresh()
-    return factory
+    """A factory whose fresh tokens avoid every token already in ``goal``.
+
+    The embedded tokens are collected from the actual ``send``/``receive``
+    nodes, not inferred from a naming convention — tokens that do not look
+    like ``xi<number>`` (hand-written specs, foreign serializations) are
+    avoided all the same.
+    """
+    return TokenFactory(avoid=used_tokens(goal))
 
 
 def add_constraints(

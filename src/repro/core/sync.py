@@ -15,6 +15,7 @@ synchronization tokens (see DESIGN.md, "Semantic choices").
 from __future__ import annotations
 
 import itertools
+from typing import Iterable
 
 from ..ctr.formulas import (
     Atom,
@@ -38,15 +39,24 @@ class TokenFactory:
     """Mints fresh synchronization tokens (``xi1``, ``xi2``, …).
 
     One factory is threaded through a whole compilation so tokens never
-    collide across constraints.
+    collide across constraints. ``start`` seeds the counter (incremental
+    recompilation continues past the tokens already embedded in a compiled
+    goal) and ``avoid`` is a set of token names that must never be minted —
+    the belt-and-braces guarantee for goals whose existing tokens do not
+    follow the ``prefix + number`` shape.
     """
 
-    def __init__(self, prefix: str = "xi"):
+    def __init__(self, prefix: str = "xi", start: int = 1,
+                 avoid: Iterable[str] = ()):
         self._prefix = prefix
-        self._counter = itertools.count(1)
+        self._counter = itertools.count(start)
+        self._avoid = frozenset(avoid)
 
     def fresh(self) -> str:
-        return f"{self._prefix}{next(self._counter)}"
+        while True:
+            token = f"{self._prefix}{next(self._counter)}"
+            if token not in self._avoid:
+                return token
 
 
 def sync_order(alpha: str, beta: str, goal: Goal, token: str) -> Goal:
@@ -54,7 +64,12 @@ def sync_order(alpha: str, beta: str, goal: Goal, token: str) -> Goal:
 
     Every occurrence of ``alpha`` becomes ``alpha ⊗ send(token)``; every
     occurrence of ``beta`` becomes ``receive(token) ⊗ beta``.
+
+    The rewrite is memoised per shared node: hash-consed goals are DAGs,
+    and each distinct subterm needs rewriting exactly once regardless of
+    how many ``∨`` branches reference it.
     """
+    memo: dict[Goal, Goal] = {}
 
     def rewrite(node: Goal) -> Goal:
         if isinstance(node, Atom):
@@ -63,16 +78,22 @@ def sync_order(alpha: str, beta: str, goal: Goal, token: str) -> Goal:
             if node.name == beta:
                 return seq(Receive(token), node)
             return node
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
         if isinstance(node, Serial):
-            return seq(*(rewrite(p) for p in node.parts))
-        if isinstance(node, Concurrent):
-            return par(*(rewrite(p) for p in node.parts))
-        if isinstance(node, Choice):
-            return alt(*(rewrite(p) for p in node.parts))
-        if isinstance(node, Isolated):
-            return Isolated(rewrite(node.body))
-        if isinstance(node, Possibility):
-            return node  # hypothetical executions exchange no real tokens
-        return node
+            result: Goal = seq(*(rewrite(p) for p in node.parts))
+        elif isinstance(node, Concurrent):
+            result = par(*(rewrite(p) for p in node.parts))
+        elif isinstance(node, Choice):
+            result = alt(*(rewrite(p) for p in node.parts))
+        elif isinstance(node, Isolated):
+            result = Isolated(rewrite(node.body))
+        elif isinstance(node, Possibility):
+            result = node  # hypothetical executions exchange no real tokens
+        else:
+            result = node
+        memo[node] = result
+        return result
 
     return rewrite(goal)

@@ -72,11 +72,17 @@ def verify_property(
     constraints: list[Constraint] | tuple[Constraint, ...],
     prop: Constraint,
     rules: RuleBase | None = None,
+    cache=None,
 ) -> VerificationResult:
-    """Theorem 5.9: check that every legal execution satisfies ``prop``."""
+    """Theorem 5.9: check that every legal execution satisfies ``prop``.
+
+    ``cache`` (a :class:`~repro.core.compiler.CompileCache` or directory
+    path) persists the ``G ∧ C ∧ ¬Φ`` compilation; re-verifying an
+    unchanged specification is then a cache hit per property.
+    """
     negated = negate(prop)
     violating: CompiledWorkflow = compile_workflow(
-        goal, list(constraints) + [negated], rules=rules
+        goal, list(constraints) + [negated], rules=rules, cache=cache
     )
     if violating.consistent:
         witness = violating.scheduler().run()

@@ -28,13 +28,20 @@ from .formulas import (
     alt,
     atom,
     atoms,
+    dag_size,
     event_names,
     goal_size,
+    intern_table_size,
+    interning,
+    interning_enabled,
     is_concurrent_horn,
     par,
     seq,
+    set_interning,
+    sharing_ratio,
     subgoals,
     walk,
+    walk_unique,
 )
 from .machine import Config, Machine, can_complete, machine_traces
 from .parser import parse_goal
@@ -46,7 +53,11 @@ from .serialize import (
     constraint_from_dict,
     constraint_to_dict,
     goal_from_dict,
+    goal_from_shared_dict,
     goal_to_dict,
+    goal_to_shared_dict,
+    goals_from_shared_dict,
+    goals_to_shared_dict,
     specification_from_dict,
     specification_to_dict,
 )
@@ -58,7 +69,9 @@ __all__ = [
     "Isolated", "Possibility", "Path", "NegPath", "Empty", "Goal",
     "PATH", "NEG_PATH", "EMPTY",
     "atom", "atoms", "seq", "par", "alt",
-    "goal_size", "event_names", "subgoals", "walk", "is_concurrent_horn",
+    "goal_size", "dag_size", "sharing_ratio", "event_names", "subgoals",
+    "walk", "walk_unique", "is_concurrent_horn",
+    "set_interning", "interning_enabled", "interning", "intern_table_size",
     "simplify", "is_failure",
     "check_unique_events", "is_unique_event_goal", "occurring_events",
     "traces", "is_executable", "count_traces",
@@ -66,6 +79,9 @@ __all__ = [
     "parse_goal", "pretty", "pretty_unicode", "pretty_tree",
     "Rule", "RuleBase",
     "unroll", "bounded_loop", "occurrence_names", "recursive_heads",
-    "goal_to_dict", "goal_from_dict", "constraint_to_dict",
+    "goal_to_dict", "goal_from_dict",
+    "goal_to_shared_dict", "goal_from_shared_dict",
+    "goals_to_shared_dict", "goals_from_shared_dict",
+    "constraint_to_dict",
     "constraint_from_dict", "specification_to_dict", "specification_from_dict",
 ]

@@ -22,12 +22,30 @@ exactly the fragment the paper uses to represent workflows (Section 2):
 * :data:`EMPTY` — the unit of serial conjunction (the paper's ``state``
   proposition, true precisely on paths of length 1, i.e. "do nothing").
 
-Formulas are immutable and hashable, so they can be shared, memoised, and
-used as dictionary keys. The constructor helpers :func:`seq`, :func:`par`
-and :func:`alt` perform light structural normalisation (flattening nested
-connectives of the same kind, dropping serial units, unwrapping singletons);
-deeper simplification — in particular the ``¬path`` absorption tautologies
-of Section 5 — lives in :mod:`repro.ctr.simplify`.
+Formulas are immutable, hashable — and **hash-consed**: constructing a node
+that is structurally equal to a live one returns *the same object* (a
+weak-value intern table keyed by the structural identity keeps canonical
+nodes alive only as long as someone references them). Hash-consing is what
+tames the ``d^N`` factor of Theorem 5.11 in practice: the ``C₁ ∨ C₂`` case
+of Apply duplicates the goal, but the duplicates are structurally identical,
+so with interning they are *shared DAG nodes* rather than independent
+trees, structural equality on the hot path is pointer equality, and every
+downstream pass (simplify, Apply itself, Excise, the size metrics) can
+memoise per shared node and visit it once. :func:`goal_size` still reports
+the paper's tree measure ``|G|``; :func:`dag_size` reports the number of
+*distinct* nodes actually allocated, and their ratio is the sharing factor
+the benchmarks gate on.
+
+Interning can be disabled (e.g. to measure its effect) with
+:func:`set_interning` or the :func:`interning` context manager; semantics
+never change — equality remains structural either way, canonical nodes just
+stop being deduplicated.
+
+The constructor helpers :func:`seq`, :func:`par` and :func:`alt` perform
+light structural normalisation (flattening nested connectives of the same
+kind, dropping serial units, unwrapping singletons); deeper simplification —
+in particular the ``¬path`` absorption tautologies of Section 5 — lives in
+:mod:`repro.ctr.simplify`.
 
 A small operator DSL makes specifications readable::
 
@@ -38,7 +56,9 @@ A small operator DSL makes specifications readable::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from contextlib import contextmanager
+from dataclasses import FrozenInstanceError
 from typing import Callable, Iterable, Iterator, Optional
 
 __all__ = [
@@ -64,11 +84,62 @@ __all__ = [
     "par",
     "alt",
     "goal_size",
+    "dag_size",
+    "sharing_ratio",
     "event_names",
     "subgoals",
     "walk",
+    "walk_unique",
     "is_concurrent_horn",
+    "set_interning",
+    "interning_enabled",
+    "interning",
+    "intern_table_size",
 ]
+
+
+# -- the intern table ----------------------------------------------------------
+#
+# Maps a structural key (class, field values) to the canonical live node.
+# Weak values: a canonical node is retired as soon as nothing else
+# references it, so the table never pins memory. Keys hash in O(1) because
+# every child node caches its own structural hash.
+
+_INTERN: "weakref.WeakValueDictionary[tuple, Goal]" = weakref.WeakValueDictionary()
+_INTERNING: bool = True
+
+
+def interning_enabled() -> bool:
+    """Is hash-consing of newly constructed nodes currently on?"""
+    return _INTERNING
+
+
+def set_interning(enabled: bool) -> bool:
+    """Turn hash-consing on/off; returns the previous setting.
+
+    Disabling only affects *future* constructions (existing canonical nodes
+    stay shared); structural equality is unaffected either way. Meant for
+    benchmarks and tests that measure the effect of sharing.
+    """
+    global _INTERNING
+    previous = _INTERNING
+    _INTERNING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def interning(enabled: bool = True):
+    """Context manager form of :func:`set_interning`."""
+    previous = set_interning(enabled)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+def intern_table_size() -> int:
+    """Number of canonical nodes currently alive in the intern table."""
+    return len(_INTERN)
 
 
 class Goal:
@@ -93,13 +164,87 @@ class Goal:
         return alt(self, other)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        from .pretty import pretty
+        from .pretty import pretty_clipped
 
-        return f"<{type(self).__name__} {pretty(self)}>"
+        return f"<{type(self).__name__} {pretty_clipped(self)}>"
 
 
-@dataclass(frozen=True, slots=True)
-class Atom(Goal):
+def _frozen_setattr(self, name, value):  # pragma: no cover - error path
+    raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+
+def _frozen_delattr(self, name):  # pragma: no cover - error path
+    raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+
+class _Node(Goal):
+    """Shared machinery of the concrete formula classes.
+
+    Instances are frozen (attribute writes raise), weak-referenceable (for
+    the intern table and the pass-level memo caches), cache their structural
+    hash, and re-intern on unpickling/copy. Subclasses define ``_FIELDS``
+    (the structural key, in order) and set attributes via
+    ``object.__setattr__`` inside ``__new__``.
+    """
+
+    __slots__ = ()
+    _FIELDS: tuple[str, ...] = ()
+
+    __setattr__ = _frozen_setattr
+    __delattr__ = _frozen_delattr
+
+    def _key(self) -> tuple:
+        return tuple(getattr(self, f) for f in self._FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((type(self).__name__,) + self._key())
+            if h == -1:
+                h = -2
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    # Nodes are immutable: copies are the object itself, and pickling
+    # round-trips through the constructor so loads re-intern.
+    def __copy__(self) -> "_Node":
+        return self
+
+    def __deepcopy__(self, memo) -> "_Node":
+        return self
+
+    def __getnewargs__(self) -> tuple:
+        return self._key()
+
+    def __getstate__(self):
+        return None
+
+
+def _make(cls, *values) -> Goal:
+    """Allocate (or fetch the canonical) node of ``cls`` for ``values``."""
+    if _INTERNING:
+        key = (cls, *values)
+        node = _INTERN.get(key)
+        if node is not None:
+            return node
+    node = object.__new__(cls)
+    for field, value in zip(cls._FIELDS, values):
+        object.__setattr__(node, field, value)
+    object.__setattr__(node, "_hash", -1)
+    if _INTERNING:
+        # setdefault tolerates a racing construction of the same key.
+        node = _INTERN.setdefault(key, node)
+    return node
+
+
+class Atom(_Node):
     """A workflow activity / significant event.
 
     In CTR terms this is a variable-free atomic formula denoting an
@@ -109,32 +254,36 @@ class Atom(Goal):
     executable and emits its name into the execution trace.
     """
 
-    name: str
+    __slots__ = ("name", "_hash", "__weakref__")
+    _FIELDS = ("name",)
 
-    def __post_init__(self) -> None:
-        if not self.name:
+    def __new__(cls, name: str) -> "Atom":
+        if not name:
             raise ValueError("atom name must be non-empty")
+        return _make(cls, name)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
-class Send(Goal):
+class Send(_Node):
     """``send(token)`` — emit a synchronization token (Definition 5.3).
 
     Always executable; records the token so that the matching
     :class:`Receive` becomes enabled. Invisible in event traces.
     """
 
-    token: str
+    __slots__ = ("token", "_hash", "__weakref__")
+    _FIELDS = ("token",)
+
+    def __new__(cls, token: str) -> "Send":
+        return _make(cls, token)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return f"send({self.token})"
 
 
-@dataclass(frozen=True, slots=True)
-class Receive(Goal):
+class Receive(_Node):
     """``receive(token)`` — block until the matching token has been sent.
 
     ``receive(t)`` is true iff ``send(t)`` has previously executed; this is
@@ -142,14 +291,17 @@ class Receive(Goal):
     different concurrent branches. Invisible in event traces.
     """
 
-    token: str
+    __slots__ = ("token", "_hash", "__weakref__")
+    _FIELDS = ("token",)
+
+    def __new__(cls, token: str) -> "Receive":
+        return _make(cls, token)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return f"receive({self.token})"
 
 
-@dataclass(frozen=True, slots=True)
-class Test(Goal):
+class Test(_Node):
     """A transition condition on a control-flow arc.
 
     ``Test`` queries the current database state and succeeds without
@@ -160,95 +312,90 @@ class Test(Goal):
     with transition conditions — the caveat of Section 7 of the paper.
 
     The predicate is excluded from equality/hashing: two tests with the
-    same name are the same condition.
+    same name are the same condition. A test carrying a predicate is never
+    interned (the callable is per-instance state the canonical node must
+    not capture); predicate-less tests — the only kind the parsers and the
+    compiler produce — are hash-consed like every other node.
     """
 
     # Not a test-case class, despite the name (pytest collection hint).
     __test__ = False
 
-    name: str
-    predicate: Optional[Callable[..., bool]] = field(
-        default=None, compare=False, hash=False, repr=False
-    )
+    __slots__ = ("name", "predicate", "_hash", "__weakref__")
+    _FIELDS = ("name",)
+
+    def __new__(
+        cls, name: str, predicate: Optional[Callable[..., bool]] = None
+    ) -> "Test":
+        if predicate is None:
+            node = _make(cls, name)
+            # The predicate slot is not part of the intern key; fill it on
+            # first construction (idempotent for cache hits).
+            object.__setattr__(node, "predicate", None)
+            return node  # type: ignore[return-value]
+        node = object.__new__(cls)
+        object.__setattr__(node, "name", name)
+        object.__setattr__(node, "predicate", predicate)
+        object.__setattr__(node, "_hash", -1)
+        return node
 
     def __str__(self) -> str:
         return f"{self.name}?"
 
 
-class _CachesHash:
-    """Mixin: lazily cache the structural hash (see the composite classes).
-
-    Residuation rebuilds long serial goals once per execution step; without
-    caching, every set-membership test re-hashes the whole subtree and a
-    length-n schedule costs Θ(n²) in hashing alone.
-    """
-
-    __slots__ = ()
-
-    def __hash__(self) -> int:
-        h = self._hash  # type: ignore[attr-defined]
-        if h == -1:
-            h = hash((type(self).__name__, self.parts))  # type: ignore[attr-defined]
-            if h == -1:
-                h = -2
-            object.__setattr__(self, "_hash", h)
-        return h
-
-
-@dataclass(frozen=True, slots=True)
-class Serial(_CachesHash, Goal):
+class Serial(_Node):
     """Serial conjunction ``T₁ ⊗ T₂ ⊗ … ⊗ Tₙ`` — execute parts in order."""
 
-    parts: tuple[Goal, ...]
-    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+    __slots__ = ("parts", "_hash", "__weakref__")
+    _FIELDS = ("parts",)
 
-    def __post_init__(self) -> None:
-        if len(self.parts) < 2:
+    def __new__(cls, parts: tuple[Goal, ...]) -> "Serial":
+        parts = tuple(parts)
+        if len(parts) < 2:
             raise ValueError("Serial needs at least two parts; use seq() to build")
+        return _make(cls, parts)  # type: ignore[return-value]
 
-    __hash__ = _CachesHash.__hash__
 
-
-@dataclass(frozen=True, slots=True)
-class Concurrent(_CachesHash, Goal):
+class Concurrent(_Node):
     """Concurrent conjunction ``T₁ | T₂ | … | Tₙ`` — interleave parts."""
 
-    parts: tuple[Goal, ...]
-    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+    __slots__ = ("parts", "_hash", "__weakref__")
+    _FIELDS = ("parts",)
 
-    def __post_init__(self) -> None:
-        if len(self.parts) < 2:
+    def __new__(cls, parts: tuple[Goal, ...]) -> "Concurrent":
+        parts = tuple(parts)
+        if len(parts) < 2:
             raise ValueError("Concurrent needs at least two parts; use par() to build")
+        return _make(cls, parts)  # type: ignore[return-value]
 
-    __hash__ = _CachesHash.__hash__
 
-
-@dataclass(frozen=True, slots=True)
-class Choice(_CachesHash, Goal):
+class Choice(_Node):
     """Disjunction ``T₁ ∨ T₂ ∨ … ∨ Tₙ`` — execute exactly one part."""
 
-    parts: tuple[Goal, ...]
-    _hash: int = field(default=-1, init=False, repr=False, compare=False)
+    __slots__ = ("parts", "_hash", "__weakref__")
+    _FIELDS = ("parts",)
 
-    def __post_init__(self) -> None:
-        if len(self.parts) < 2:
+    def __new__(cls, parts: tuple[Goal, ...]) -> "Choice":
+        parts = tuple(parts)
+        if len(parts) < 2:
             raise ValueError("Choice needs at least two parts; use alt() to build")
+        return _make(cls, parts)  # type: ignore[return-value]
 
-    __hash__ = _CachesHash.__hash__
 
-
-@dataclass(frozen=True, slots=True)
-class Isolated(Goal):
+class Isolated(_Node):
     """``⊙ T`` — execute ``T`` without interleaving with concurrent activity."""
 
-    body: Goal
+    __slots__ = ("body", "_hash", "__weakref__")
+    _FIELDS = ("body",)
+
+    def __new__(cls, body: Goal) -> "Isolated":
+        return _make(cls, body)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return f"isolated({self.body})"
 
 
-@dataclass(frozen=True, slots=True)
-class Possibility(Goal):
+class Possibility(_Node):
     """``◇ T`` — succeed iff ``T`` *could* execute here; consume nothing.
 
     Events inside a possibility test are hypothetical: they do not occur in
@@ -256,36 +403,58 @@ class Possibility(Goal):
     nor for temporal constraints (see DESIGN.md, "Semantic choices").
     """
 
-    body: Goal
+    __slots__ = ("body", "_hash", "__weakref__")
+    _FIELDS = ("body",)
+
+    def __new__(cls, body: Goal) -> "Possibility":
+        return _make(cls, body)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return f"possible({self.body})"
 
 
-@dataclass(frozen=True, slots=True)
-class Path(Goal):
+class Path(_Node):
     """The proposition ``path`` — true on every execution path."""
+
+    __slots__ = ("_hash", "__weakref__")
+    _FIELDS = ()
+
+    def __new__(cls) -> "Path":
+        return _make(cls)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return "path"
 
 
-@dataclass(frozen=True, slots=True)
-class NegPath(Goal):
+class NegPath(_Node):
     """``¬path`` — the non-executable transaction, CTR's analogue of false."""
+
+    __slots__ = ("_hash", "__weakref__")
+    _FIELDS = ()
+
+    def __new__(cls) -> "NegPath":
+        return _make(cls)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return "neg_path"
 
 
-@dataclass(frozen=True, slots=True)
-class Empty(Goal):
+class Empty(_Node):
     """The unit of ``⊗``: the paper's ``state`` proposition ("do nothing")."""
+
+    __slots__ = ("_hash", "__weakref__")
+    _FIELDS = ()
+
+    def __new__(cls) -> "Empty":
+        return _make(cls)  # type: ignore[return-value]
 
     def __str__(self) -> str:
         return "()"
 
 
+# Module-level strong references keep the sentinels canonical forever, even
+# when interning is toggled off (their constructors run at import time,
+# while interning is on).
 PATH = Path()
 NEG_PATH = NegPath()
 EMPTY = Empty()
@@ -376,7 +545,14 @@ def subgoals(goal: Goal) -> tuple[Goal, ...]:
 
 
 def walk(goal: Goal) -> Iterator[Goal]:
-    """Pre-order traversal of every node of ``goal`` (including itself)."""
+    """Pre-order traversal of every node of ``goal`` (including itself).
+
+    Shared nodes are yielded once per *occurrence* — this is the tree view,
+    the measure of Theorem 5.11. For the DAG view (each distinct node once)
+    use :func:`walk_unique`, which is the right tool for "does the goal
+    contain X" questions on compiled goals, where sharing makes the tree
+    exponentially larger than the DAG.
+    """
     stack = [goal]
     while stack:
         node = stack.pop()
@@ -384,9 +560,62 @@ def walk(goal: Goal) -> Iterator[Goal]:
         stack.extend(reversed(subgoals(node)))
 
 
+def walk_unique(goal: Goal) -> Iterator[Goal]:
+    """Pre-order traversal yielding each *distinct* node exactly once.
+
+    Distinctness is object identity: with interning on, structurally equal
+    subterms are the same object, so this visits the goal as the DAG it
+    actually is — time and output are proportional to :func:`dag_size`,
+    not :func:`goal_size`.
+    """
+    seen: set[int] = set()
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield node
+        stack.extend(reversed(subgoals(node)))
+
+
 def goal_size(goal: Goal) -> int:
-    """Number of AST nodes — the measure ``|G|`` of Theorem 5.11."""
-    return sum(1 for _ in walk(goal))
+    """Number of AST nodes of the *tree* — the measure ``|G|`` of Theorem 5.11.
+
+    Computed over the DAG (each shared node's subtree size is computed
+    once), so this is O(dag_size) time even when the tree is exponentially
+    larger.
+    """
+    sizes: dict[int, int] = {}
+    stack = [goal]
+    while stack:
+        node = stack[-1]
+        if id(node) in sizes:
+            stack.pop()
+            continue
+        children = subgoals(node)
+        pending = [c for c in children if id(c) not in sizes]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        sizes[id(node)] = 1 + sum(sizes[id(c)] for c in children)
+    return sizes[id(goal)]
+
+
+def dag_size(goal: Goal) -> int:
+    """Number of *distinct* nodes — the allocated size under sharing."""
+    return sum(1 for _ in walk_unique(goal))
+
+
+def sharing_ratio(goal: Goal) -> float:
+    """``goal_size / dag_size`` — how much smaller sharing makes the goal.
+
+    1.0 means no sharing (every node unique); on Apply output with ``∨``
+    constraints this grows with ``d^N``.
+    """
+    return goal_size(goal) / dag_size(goal)
 
 
 def event_names(goal: Goal, include_hypothetical: bool = False) -> frozenset[str]:
@@ -397,8 +626,12 @@ def event_names(goal: Goal, include_hypothetical: bool = False) -> frozenset[str
     ``include_hypothetical`` is set.
     """
     names: set[str] = set()
+    seen: set[int] = set()
 
     def visit(node: Goal) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
         if isinstance(node, Atom):
             names.add(node.name)
         elif isinstance(node, Possibility):
@@ -420,7 +653,7 @@ def is_concurrent_horn(goal: Goal) -> bool:
     simplifies it away after Apply); ``path`` is not either, because it is
     defined with negation.
     """
-    for node in walk(goal):
+    for node in walk_unique(goal):
         if isinstance(node, (Path, NegPath)):
             return False
         if not isinstance(

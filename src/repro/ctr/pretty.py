@@ -37,7 +37,7 @@ from .formulas import (
     Test,
 )
 
-__all__ = ["pretty", "pretty_unicode", "pretty_tree"]
+__all__ = ["pretty", "pretty_unicode", "pretty_tree", "pretty_clipped"]
 
 # Precedence levels: larger binds tighter.
 _PREC_CHOICE = 1
@@ -108,6 +108,81 @@ def pretty(goal: Goal) -> str:
 def pretty_unicode(goal: Goal) -> str:
     """Rendering in the paper's notation (``⊗``/``∨``/``¬path``)."""
     return _render(goal, _UNICODE_OPS, 0)
+
+
+class _Budget:
+    """A shrinking character allowance shared by one clipped rendering."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, chars: int) -> None:
+        self.remaining = chars
+
+    def spend(self, text: str) -> bool:
+        self.remaining -= len(text)
+        return self.remaining >= 0
+
+
+_ELLIPSIS = "…"
+
+
+def _render_clipped(
+    goal: Goal, parent_prec: int, depth: int, max_depth: int,
+    max_parts: int, budget: _Budget,
+) -> str:
+    if budget.remaining <= 0:
+        return _ELLIPSIS
+    if isinstance(goal, (Atom, Send, Receive, Test, Path, NegPath, Empty)):
+        text = _render(goal, _ASCII_OPS, parent_prec)
+        budget.spend(text)
+        return text
+    if depth >= max_depth:
+        budget.spend(_ELLIPSIS)
+        return _ELLIPSIS
+    if isinstance(goal, Isolated):
+        return f"[{_render_clipped(goal.body, 0, depth + 1, max_depth, max_parts, budget)}]"
+    if isinstance(goal, Possibility):
+        return f"<{_render_clipped(goal.body, 0, depth + 1, max_depth, max_parts, budget)}>"
+
+    if isinstance(goal, Serial):
+        prec, symbol = _PREC_SERIAL, _ASCII_OPS["serial"]
+    elif isinstance(goal, Concurrent):
+        prec, symbol = _PREC_CONCUR, _ASCII_OPS["concurrent"]
+    elif isinstance(goal, Choice):
+        prec, symbol = _PREC_CHOICE, _ASCII_OPS["choice"]
+    else:
+        text = str(goal)  # Running/Tail and future node kinds
+        budget.spend(text)
+        return text
+
+    rendered: list[str] = []
+    for index, part in enumerate(goal.parts):
+        if index >= max_parts or budget.remaining <= 0:
+            rendered.append(f"{_ELLIPSIS}(+{len(goal.parts) - index} more)")
+            break
+        rendered.append(
+            _render_clipped(part, prec, depth + 1, max_depth, max_parts, budget)
+        )
+    body = symbol.join(rendered)
+    if prec < parent_prec:
+        return f"({body})"
+    return body
+
+
+def pretty_clipped(
+    goal: Goal, max_depth: int = 6, max_parts: int = 8, max_chars: int = 240
+) -> str:
+    """Like :func:`pretty`, but truncated past a depth/width/length budget.
+
+    ``Goal.__repr__`` uses this: a compiled goal can be ``d^N``-tree-sized,
+    and an O(tree) string build would hang the REPL the moment a debugger
+    or a test failure tries to display it. Rendering cost is bounded by the
+    budgets, never by the goal; elided material shows as ``…``.
+    """
+    text = _render_clipped(goal, 0, 0, max_depth, max_parts, _Budget(max_chars))
+    if len(text) > max_chars:
+        text = text[:max_chars] + _ELLIPSIS
+    return text
 
 
 def pretty_tree(goal: Goal, indent: str = "") -> str:

@@ -16,6 +16,16 @@ constraint, round-tripping through ``json``::
 serialized — only the condition name survives, and the loader produces a
 predicate-less ``Test`` (static reading). Re-attach predicates after
 loading if run-time evaluation is needed.
+
+Two goal encodings are provided. :func:`goal_to_dict` is the stable
+human-readable *tree* encoding: nested dictionaries, one per occurrence,
+so a shared subterm is written out once per reference. For compiled goals
+— hash-consed DAGs where Theorem 5.11's ``d^N`` blow-up lives in the tree
+measure — that expansion can be exponential, so
+:func:`goal_to_shared_dict` encodes the *DAG* instead: a post-order node
+table with integer child references, O(distinct nodes) to write and to
+read. Both decoders rebuild through the interning constructors, so loaded
+goals are always canonical.
 """
 
 from __future__ import annotations
@@ -52,12 +62,17 @@ from .formulas import (
     alt,
     par,
     seq,
+    subgoals,
 )
 from .rules import Rule, RuleBase
 
 __all__ = [
     "goal_to_dict",
     "goal_from_dict",
+    "goal_to_shared_dict",
+    "goal_from_shared_dict",
+    "goals_to_shared_dict",
+    "goals_from_shared_dict",
     "constraint_to_dict",
     "constraint_from_dict",
     "rules_to_dict",
@@ -134,6 +149,128 @@ def goal_from_dict(data: dict[str, Any]) -> Goal:
 
         return Running(goal_from_dict(data["body"]))
     raise SpecificationError(f"unknown goal kind {kind!r}")
+
+
+def _encode_shared_into(
+    goal: Goal, nodes: list[dict[str, Any]], index: dict[int, int]
+) -> int:
+    """Append ``goal``'s distinct nodes to ``nodes`` post-order; return its index."""
+    stack = [goal]
+    while stack:
+        node = stack[-1]
+        if id(node) in index:
+            stack.pop()
+            continue
+        children = subgoals(node)
+        pending = [c for c in children if id(c) not in index]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if isinstance(node, Serial):
+            encoded: dict[str, Any] = {
+                "kind": "serial", "parts": [index[id(p)] for p in node.parts]
+            }
+        elif isinstance(node, Concurrent):
+            encoded = {
+                "kind": "concurrent", "parts": [index[id(p)] for p in node.parts]
+            }
+        elif isinstance(node, Choice):
+            encoded = {
+                "kind": "choice", "parts": [index[id(p)] for p in node.parts]
+            }
+        elif isinstance(node, Isolated):
+            encoded = {"kind": "isolated", "body": index[id(node.body)]}
+        elif isinstance(node, Possibility):
+            encoded = {"kind": "possibility", "body": index[id(node.body)]}
+        else:
+            encoded = goal_to_dict(node)  # leaves share the tree encoding
+        index[id(node)] = len(nodes)
+        nodes.append(encoded)
+    return index[id(goal)]
+
+
+def goal_to_shared_dict(goal: Goal) -> dict[str, Any]:
+    """Encode a goal DAG with its sharing intact.
+
+    The result is ``{"nodes": [...], "root": i}``: ``nodes`` lists every
+    *distinct* node in post-order (children before parents), with composite
+    nodes referencing their parts by index into the list. A subterm shared
+    by many parents is written exactly once, so the encoding is linear in
+    ``dag_size`` where :func:`goal_to_dict` is linear in the (possibly
+    exponentially larger) tree size.
+    """
+    nodes: list[dict[str, Any]] = []
+    index: dict[int, int] = {}
+    root = _encode_shared_into(goal, nodes, index)
+    return {"nodes": nodes, "root": root}
+
+
+def goals_to_shared_dict(goals: dict[str, Goal]) -> dict[str, Any]:
+    """Encode several goals into *one* shared node table.
+
+    ``{"nodes": [...], "roots": {name: i}}`` — structure shared *between*
+    the goals (e.g. a compile result's ``applied`` and excised ``goal``,
+    which typically overlap almost entirely) is also written only once.
+    """
+    nodes: list[dict[str, Any]] = []
+    index: dict[int, int] = {}
+    roots = {
+        name: _encode_shared_into(goal, nodes, index)
+        for name, goal in goals.items()
+    }
+    return {"nodes": nodes, "roots": roots}
+
+
+def _decode_shared_nodes(entries: list[dict[str, Any]]) -> list[Goal]:
+    built: list[Goal] = []
+    # Post-order guarantees children precede parents, so ``built[i]`` with
+    # i pointing at a not-yet-decoded node raises IndexError — malformed
+    # references surface as SpecificationError rather than wrong goals.
+    try:
+        for entry in entries:
+            kind = entry.get("kind")
+            if kind == "serial":
+                node: Goal = Serial(tuple(built[i] for i in entry["parts"]))
+            elif kind == "concurrent":
+                node = Concurrent(tuple(built[i] for i in entry["parts"]))
+            elif kind == "choice":
+                node = Choice(tuple(built[i] for i in entry["parts"]))
+            elif kind == "isolated":
+                node = Isolated(built[entry["body"]])
+            elif kind == "possibility":
+                node = Possibility(built[entry["body"]])
+            else:
+                node = goal_from_dict(entry)
+            built.append(node)
+    except (IndexError, TypeError, KeyError) as exc:
+        raise SpecificationError(f"malformed shared goal encoding: {exc}") from exc
+    return built
+
+
+def goal_from_shared_dict(data: dict[str, Any]) -> Goal:
+    """Decode :func:`goal_to_shared_dict` output (re-interning every node).
+
+    Unlike :func:`goal_from_dict` (which rebuilds through the normalizing
+    ``seq``/``par``/``alt`` constructors), this decoder reproduces the
+    encoded structure *exactly* — the shared encoding is a faithful image
+    of an existing goal, and each node index must keep denoting the same
+    subterm it did at encode time.
+    """
+    built = _decode_shared_nodes(data["nodes"])
+    try:
+        return built[data["root"]]
+    except (IndexError, TypeError, KeyError) as exc:
+        raise SpecificationError(f"malformed shared goal encoding: {exc}") from exc
+
+
+def goals_from_shared_dict(data: dict[str, Any]) -> dict[str, Goal]:
+    """Decode :func:`goals_to_shared_dict` output: name → canonical goal."""
+    built = _decode_shared_nodes(data["nodes"])
+    try:
+        return {name: built[i] for name, i in data["roots"].items()}
+    except (IndexError, TypeError, KeyError) as exc:
+        raise SpecificationError(f"malformed shared goal encoding: {exc}") from exc
 
 
 def constraint_to_dict(constraint: Constraint) -> dict[str, Any]:

@@ -11,9 +11,19 @@ literals. The paper removes them with the tautologies::
 trivially-sound structural clean-ups (flattening, serial units, duplicate
 choice branches, collapse of ``⊙``/``◇`` over leaves), so the result is
 either a concurrent-Horn goal or the single literal ``NEG_PATH``.
+
+Sharing-awareness: goals are hash-consed (see :mod:`repro.ctr.formulas`),
+so the "tree" Apply produces is really a DAG whose shared subterms are the
+same object. Each :func:`simplify` call memoises per *node*, visiting every
+shared subterm once — a tree-sized pass becomes a DAG-sized one. On top of
+that, simplify is idempotent, and every node it *returns* is a fixpoint;
+those are remembered in a weak registry so the repeated re-simplification
+Excise performs on already-normalised subgoals is O(1) per node.
 """
 
 from __future__ import annotations
+
+import weakref
 
 from .formulas import (
     EMPTY,
@@ -44,6 +54,14 @@ def is_failure(goal: Goal) -> bool:
     return isinstance(goal, NegPath)
 
 
+# Nodes known to be simplify-fixpoints (simplify(g) is g). Weak: remembered
+# only while the node is alive elsewhere. Membership is structural, which is
+# exactly as strong as needed — simplify is a function of structure alone.
+_FIXPOINTS: "weakref.WeakSet[Goal]" = weakref.WeakSet()
+
+_LEAVES = (Atom, Send, Receive, Test, Path, NegPath, Empty)
+
+
 def simplify(goal: Goal) -> Goal:
     """Normalise ``goal`` by propagating ``¬path`` and flattening connectives.
 
@@ -51,42 +69,56 @@ def simplify(goal: Goal) -> Goal:
     executions) and is either :data:`~repro.ctr.formulas.NEG_PATH` or free
     of ``¬path`` literals.
     """
-    if isinstance(goal, (Atom, Send, Receive, Test, Path, NegPath, Empty)):
+    if isinstance(goal, _LEAVES):
         return goal
+    return _simplify(goal, {})
+
+
+def _simplify(goal: Goal, memo: dict[Goal, Goal]) -> Goal:
+    if isinstance(goal, _LEAVES):
+        return goal
+    if goal in _FIXPOINTS:
+        return goal
+    cached = memo.get(goal)
+    if cached is not None:
+        return cached
 
     if isinstance(goal, Serial):
-        return seq(*(simplify(p) for p in goal.parts))
-
-    if isinstance(goal, Concurrent):
-        return par(*(simplify(p) for p in goal.parts))
-
-    if isinstance(goal, Choice):
-        return alt(*(simplify(p) for p in goal.parts))
-
-    if isinstance(goal, Isolated):
-        body = simplify(goal.body)
+        result = seq(*(_simplify(p, memo) for p in goal.parts))
+    elif isinstance(goal, Concurrent):
+        result = par(*(_simplify(p, memo) for p in goal.parts))
+    elif isinstance(goal, Choice):
+        result = alt(*(_simplify(p, memo) for p in goal.parts))
+    elif isinstance(goal, Isolated):
+        body = _simplify(goal.body, memo)
         if isinstance(body, NegPath):
-            return NEG_PATH
-        if isinstance(body, Empty):
-            return EMPTY
+            result = NEG_PATH
+        elif isinstance(body, Empty):
+            result = EMPTY
         # ⊙ over a single elementary step is a no-op: nothing can interleave
-        # inside one step anyway.
-        if isinstance(body, (Atom, Send, Receive, Test)):
-            return body
-        # ⊙⊙T ≡ ⊙T
-        if isinstance(body, Isolated):
-            return body
-        return Isolated(body)
-
-    if isinstance(goal, Possibility):
-        body = simplify(goal.body)
+        # inside one step anyway; ⊙⊙T ≡ ⊙T.
+        elif isinstance(body, (Atom, Send, Receive, Test, Isolated)):
+            result = body
+        else:
+            result = Isolated(body)
+    elif isinstance(goal, Possibility):
+        body = _simplify(goal.body, memo)
         if isinstance(body, NegPath):
-            return NEG_PATH
-        if isinstance(body, Empty):
-            return EMPTY
+            result = NEG_PATH
+        elif isinstance(body, Empty):
+            result = EMPTY
         # ◇◇T ≡ ◇T
-        if isinstance(body, Possibility):
-            return body
-        return Possibility(body)
+        elif isinstance(body, Possibility):
+            result = body
+        else:
+            result = Possibility(body)
+    else:
+        raise TypeError(f"cannot simplify {type(goal).__name__}")  # pragma: no cover
 
-    raise TypeError(f"cannot simplify {type(goal).__name__}")  # pragma: no cover
+    memo[goal] = result
+    if not isinstance(result, _LEAVES):
+        try:
+            _FIXPOINTS.add(result)
+        except TypeError:  # pragma: no cover - non-weakrefable future node
+            pass
+    return result

@@ -1,0 +1,169 @@
+"""Tests for the persistent content-addressed compile cache."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.constraints.algebra import absent, disj, must, order
+from repro.core.compiler import CompileCache, compile_workflow
+from repro.core.verify import verify_property
+from repro.ctr.formulas import Test, atoms, seq
+from repro.ctr.rules import Rule, RuleBase
+from repro.ctr.traces import traces
+
+A, B, C, D = atoms("a b c d")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(tmp_path / "cache")
+
+
+class TestHitAndMiss:
+    def test_cold_then_warm(self, cache):
+        goal = (A >> B) + (C >> D)
+        constraints = [disj(order("a", "c"), absent("d"))]
+        cold = compile_workflow(goal, constraints, cache=cache)
+        warm = compile_workflow(goal, constraints, cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+        assert warm.goal == cold.goal
+        assert warm.applied == cold.applied
+        assert warm.constraints == cold.constraints
+        # Deserialization re-interns, so a hit is not just equal but canonical.
+        assert warm.goal is cold.goal
+        assert traces(warm.goal) == traces(cold.goal)
+
+    def test_different_specs_get_different_entries(self, cache):
+        compile_workflow(A >> B, [must("a")], cache=cache)
+        compile_workflow(A >> B, [must("b")], cache=cache)
+        compile_workflow(A >> C, [must("a")], cache=cache)
+        assert len(cache) == 3
+        assert cache.hits == 0
+
+    def test_directory_path_is_accepted_directly(self, tmp_path):
+        compile_workflow(A >> B, cache=tmp_path / "bydir")
+        again = compile_workflow(A >> B, cache=tmp_path / "bydir")
+        assert again.goal == compile_workflow(A >> B).goal
+
+    def test_rule_change_invalidates(self, cache):
+        (sub,) = atoms("sub")
+        base_one = RuleBase()
+        base_one.add(Rule("sub", B >> C))
+        base_two = RuleBase()
+        base_two.add(Rule("sub", C >> B))
+        one = compile_workflow(seq(A, sub), rules=base_one, cache=cache)
+        two = compile_workflow(seq(A, sub), rules=base_two, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert traces(one.goal) != traces(two.goal)
+
+    def test_inconsistent_results_are_cached_too(self, cache):
+        constraints = [order("b", "a")]
+        cold = compile_workflow(A >> B, constraints, cache=cache)
+        warm = compile_workflow(A >> B, constraints, cache=cache)
+        assert not cold.consistent and not warm.consistent
+        assert cache.hits == 1
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_max_entries(self, tmp_path):
+        cache = CompileCache(tmp_path, max_entries=2)
+        import os
+
+        for i, goal in enumerate([A >> B, B >> C, C >> D, D >> A]):
+            compile_workflow(goal, cache=cache)
+            # mtime has second granularity on some filesystems; spread the
+            # entries artificially so LRU ordering is deterministic.
+            for j, entry in enumerate(sorted(tmp_path.glob("*.json"))):
+                os.utime(entry, (i + j * 0.001, i + j * 0.001))
+        assert len(cache) == 2
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileCache(tmp_path, max_entries=0)
+
+
+class TestCorruptEntries:
+    def test_corrupt_entry_is_treated_as_miss_and_removed(self, cache):
+        goal = A >> B
+        compile_workflow(goal, cache=cache)
+        (entry,) = cache.directory.glob("*.json")
+        entry.write_text("{ not json")
+        recompiled = compile_workflow(goal, cache=cache)
+        assert recompiled.consistent
+        assert cache.hits == 0
+        # The recompile stored a fresh, loadable entry over the corpse.
+        assert compile_workflow(goal, cache=cache).goal == recompiled.goal
+        assert cache.hits == 1
+
+    def test_semantically_corrupt_entry_is_tolerated(self, cache):
+        goal = A >> B
+        compile_workflow(goal, cache=cache)
+        (entry,) = cache.directory.glob("*.json")
+        data = json.loads(entry.read_text())
+        data["goals"]["roots"]["goal"] = 99999  # dangling node reference
+        entry.write_text(json.dumps(data))
+        recompiled = compile_workflow(goal, cache=cache)
+        assert recompiled.consistent
+
+
+class TestUncacheableSpecs:
+    def test_predicated_test_bypasses_the_cache(self, cache):
+        goal = seq(Test("guard", predicate=lambda db: True), A)
+        compile_workflow(goal, cache=cache)
+        compile_workflow(goal, cache=cache)
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_plain_test_is_cacheable(self, cache):
+        goal = seq(Test("guard"), A)
+        compile_workflow(goal, cache=cache)
+        compile_workflow(goal, cache=cache)
+        assert cache.hits == 1
+
+
+class TestVerifyWithCache:
+    def test_verify_property_uses_the_cache(self, cache):
+        goal = A >> (B + C)
+        result = verify_property(goal, [absent("b")], must("c"), cache=cache)
+        assert result.holds
+        again = verify_property(goal, [absent("b")], must("c"), cache=cache)
+        assert again.holds
+        assert cache.hits == 1
+
+
+SPEC = """
+goal: a * (b | c) * d
+constraint: precedes(a, d)
+property has_a: happens(a)
+"""
+
+
+class TestCLI:
+    def _write_spec(self, tmp_path):
+        spec = tmp_path / "wf.spec"
+        spec.write_text(SPEC)
+        return spec
+
+    def test_cache_dir_flag_populates_and_reuses(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["show", str(spec), "--cache-dir", str(cache_dir)]) == 0
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        assert main(["show", str(spec), "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("compiled:") == 2
+
+    def test_no_cache_flag_wins(self, tmp_path, monkeypatch):
+        spec = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "cli-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["check", str(spec), "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        spec = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["verify", str(spec)]) == 0
+        assert len(list(cache_dir.glob("*.json"))) == 1

@@ -58,6 +58,45 @@ class TestTokenFreshness:
         assert len(tokens) == len(set(tokens))
         assert updated.consistent
 
+    def test_no_collision_after_two_incremental_steps(self):
+        # Regression: re-seeding must account for the tokens minted by
+        # *previous* incremental steps, not just the original compile —
+        # a collision here pairs a new receive with an old send and
+        # silently deadlocks (or wrongly orders) the schedule.
+        from repro.ctr.formulas import Receive, Send, walk
+
+        E, F = atoms("e f")
+        goal = A | B | C | D | E | F
+        step0 = compile_workflow(goal, [order("a", "b")])
+        step1 = add_constraint(step0, order("c", "d"))
+        step2 = add_constraint(step1, order("e", "f"))
+
+        sends = [n.token for n in walk(step2.goal) if isinstance(n, Send)]
+        receives = [n.token for n in walk(step2.goal) if isinstance(n, Receive)]
+        assert len(sends) == len(set(sends)) == 3
+        assert sorted(sends) == sorted(receives)
+
+        batch = compile_workflow(goal, [order("a", "b"), order("c", "d"),
+                                        order("e", "f")])
+        assert set(step2.schedules()) == set(batch.schedules())
+
+    def test_embedded_tokens_are_collected_from_nodes_not_names(self):
+        # The avoid-set is built from the actual send/receive nodes, so a
+        # hand-assembled goal already containing xi1 forces the next mint
+        # to skip it — regardless of any naming-convention parsing.
+        from repro.core.compiler import CompiledWorkflow
+        from repro.core.incremental import used_tokens
+        from repro.ctr.formulas import Receive, Send, seq
+
+        goal = seq(A, Send("xi1"), Receive("xi1"), B) | (C | D)
+        compiled = CompiledWorkflow(source=goal, constraints=(),
+                                    applied=goal, goal=goal)
+        assert used_tokens(goal) == {"xi1"}
+        updated = add_constraint(compiled, order("c", "d"))
+        assert updated.consistent
+        tokens = used_tokens(updated.goal)
+        assert len(tokens) == 2  # xi1 plus exactly one genuinely fresh token
+
 
 class TestEquivalenceWithFullRecompilation:
     @settings(max_examples=60, deadline=None)

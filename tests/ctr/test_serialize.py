@@ -22,7 +22,11 @@ from repro.ctr.serialize import (
     constraint_from_dict,
     constraint_to_dict,
     goal_from_dict,
+    goal_from_shared_dict,
     goal_to_dict,
+    goal_to_shared_dict,
+    goals_from_shared_dict,
+    goals_to_shared_dict,
     rules_from_dict,
     rules_to_dict,
     specification_from_dict,
@@ -60,6 +64,73 @@ class TestGoals:
     def test_unknown_kind_rejected(self):
         with pytest.raises(SpecificationError):
             goal_from_dict({"kind": "quantum"})
+
+
+class TestSharedEncoding:
+    @given(unique_event_goals(max_events=6))
+    def test_round_trip_is_canonical_identity(self, goal):
+        # Not just equality: decoding re-interns, so the loaded goal IS
+        # the canonical node for its structure.
+        assert goal_from_shared_dict(json_round_trip(goal_to_shared_dict(goal))) is goal
+
+    def test_shared_subterms_are_encoded_once(self):
+        from repro.ctr.formulas import alt, dag_size, par, seq
+
+        shared = par(A, B)
+        goal = alt(seq(shared, C), seq(C, shared), Isolated(shared))
+        data = goal_to_shared_dict(goal)
+        assert len(data["nodes"]) == dag_size(goal)
+        loaded = goal_from_shared_dict(json_round_trip(data))
+        assert loaded is goal
+        assert dag_size(loaded) == dag_size(goal)
+
+    def test_tree_encoding_expands_what_shared_does_not(self):
+        from repro.ctr.formulas import alt, par
+
+        shared = A >> B
+        goal = alt(*(par(shared, atoms(f"x{i}")[0]) for i in range(8)))
+        tree = json.dumps(goal_to_dict(goal))
+        dag = json.dumps(goal_to_shared_dict(goal))
+        assert tree.count('"kind": "serial"') > dag.count('"kind": "serial"')
+
+    def test_special_nodes(self):
+        goal = Isolated(A >> Send("t")) | (Receive("t") >> Possibility(B) >> Test("c"))
+        assert goal_from_shared_dict(goal_to_shared_dict(goal)) is goal
+
+    def test_multi_root_table_shares_between_goals(self):
+        from repro.ctr.formulas import par, seq
+
+        one = seq(par(A, B), C)
+        two = par(par(A, B), C)
+        data = goals_to_shared_dict({"one": one, "two": two})
+        names = {n.get("name") for n in data["nodes"]}
+        assert {"a", "b", "c"} <= names
+        assert len(data["nodes"]) == 6  # a, b, c, par(a,b) shared, + 2 roots
+        loaded = goals_from_shared_dict(json_round_trip(data))
+        assert loaded["one"] is one
+        assert loaded["two"] is two
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(SpecificationError):
+            goal_from_shared_dict({"nodes": [{"kind": "atom", "name": "a"}],
+                                   "root": 5})
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SpecificationError):
+            goal_from_shared_dict({
+                "nodes": [{"kind": "serial", "parts": [1, 2]},
+                          {"kind": "atom", "name": "a"},
+                          {"kind": "atom", "name": "b"}],
+                "root": 0,
+            })
+
+    def test_malformed_parts_rejected(self):
+        with pytest.raises(SpecificationError):
+            goal_from_shared_dict({
+                "nodes": [{"kind": "atom", "name": "a"},
+                          {"kind": "choice", "parts": ["zero", 0]}],
+                "root": 1,
+            })
 
 
 class TestConstraints:
