@@ -1,0 +1,197 @@
+"""S2: parallel verification — DNF fan-out, batch verify, early exit.
+
+Workload: the Theorem 5.11 sweep (seven concurrent event pairs plus a
+serial pad) under N = 7 width-2 disjunctive order constraints, i.e.
+2^7 = 128 pure-conjunctive branches. Three gates:
+
+* **S2a** — *zero divergence*: ``jobs=4`` returns results identical to
+  ``jobs=1`` (holds, counterexample, witness) for the whole property
+  batch, and the fan-out consistency probe agrees with the monolithic
+  compile on consistent and inconsistent specifications alike. Runs on
+  any machine.
+* **S2b** — *speedup*: the 16-property batch verifies at least 2× faster
+  at ``jobs=4`` than sequentially. Requires ≥4 cores (CI); skipped on
+  smaller machines, where there is no parallelism to measure.
+* **S2c** — *early exit*: a consistent specification is decided after
+  examining one branch, pruning the other 127 — the fan-out's answer to
+  the Proposition 4.1 exponent. Runs on any machine (pruning is a
+  counter, not a timing).
+
+The sweep is saved machine-readably as ``results/BENCH_parallel.json``
+(consumed by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from bench_apply_size import _PAIRS, _pair_goal, _width_d_constraint
+from conftest import RESULTS_DIR, save_table, time_best_of
+
+from repro.analysis.metrics import render_table
+from repro.constraints.algebra import disj, must, order
+from repro.core.parallel import check_consistency, shutdown_pool
+from repro.core.verify import verify_properties
+
+N_CONSTRAINTS = 7  # 2^7 = 128 DNF branches; ISSUE gate wants N >= 6
+JOBS_SWEEP = [1, 2, 4]
+_RESULTS: dict | None = None
+
+
+def _workload():
+    goal = _pair_goal(7, padding=6)
+    constraints = [_width_d_constraint(i, d=2) for i in range(N_CONSTRAINTS)]
+    # 16 properties that all hold: each forces the full (inconsistent)
+    # G ∧ C ∧ ¬Φ compile, so every batch item is maximal, uniform work.
+    props = (
+        [disj(order(a, b), order(b, a)) for a, b in _PAIRS[:7]]
+        + [must(f"pad{i}") for i in range(6)]
+        + [order("pad0", "pad3"), order("pad1", "pad4"), order("pad2", "pad5")]
+    )
+    return goal, constraints, props
+
+
+def _measure() -> dict:
+    global _RESULTS
+    if _RESULTS is not None:
+        return _RESULTS
+
+    goal, constraints, props = _workload()
+
+    # --- divergence: jobs=4 must reproduce the sequential batch exactly.
+    sequential = verify_properties(goal, constraints, props, jobs=1)
+    fanned = verify_properties(goal, constraints, props, jobs=4)
+    identical = sequential == fanned
+
+    consistent_seq = check_consistency(goal, constraints, jobs=1)
+    consistent_par = check_consistency(goal, constraints, jobs=4)
+    impossible = constraints + [must("nonexistent")]
+    inconsistent_seq = check_consistency(goal, impossible, jobs=1)
+    inconsistent_par = check_consistency(goal, impossible, jobs=4)
+    probe_agrees = (
+        consistent_seq.consistent
+        and consistent_par.consistent
+        and not inconsistent_seq.consistent
+        and not inconsistent_par.consistent
+    )
+
+    # --- timing sweep over the jobs knob (pool pre-warmed per size so the
+    # one-time fork cost is not billed to the measured batch).
+    sweep = []
+    base_s = None
+    for jobs in JOBS_SWEEP:
+        verify_properties(goal, constraints, props[:1], jobs=jobs)  # warm pool
+        batch_s = time_best_of(
+            lambda jobs=jobs: verify_properties(goal, constraints, props,
+                                                jobs=jobs),
+            repeats=3,
+        )
+        if base_s is None:
+            base_s = batch_s
+        sweep.append({
+            "jobs": jobs,
+            "batch_s": round(batch_s, 6),
+            "speedup": round(base_s / batch_s, 2),
+        })
+    shutdown_pool()
+
+    # --- early exit: the consistent spec needs exactly one of 128 branches.
+    stats = consistent_seq.stats
+    fanout = {
+        "disjuncts_total": stats.disjuncts_total,
+        "examined": stats.examined,
+        "pruned": stats.pruned,
+        "early_exit": stats.early_exit,
+    }
+
+    speedup_at_4 = sweep[-1]["speedup"]
+    _RESULTS = {
+        "benchmark": "parallel",
+        "workload": (
+            f"7 concurrent event pairs + 6-event serial pad; "
+            f"{N_CONSTRAINTS} width-2 disjunctive order constraints "
+            f"(2^{N_CONSTRAINTS} = {2 ** N_CONSTRAINTS} DNF branches); "
+            f"{len(props)}-property batch"
+        ),
+        "cpu_count": os.cpu_count(),
+        "properties": len(props),
+        "sweep": sweep,
+        "fanout": fanout,
+        "divergence": {
+            "properties_checked": len(props),
+            "batch_identical": identical,
+            "probe_agrees": probe_agrees,
+        },
+        "gates": {
+            "zero_divergence": identical and probe_agrees,
+            "speedup_2x_at_4": (
+                speedup_at_4 >= 2.0 if (os.cpu_count() or 1) >= 4 else None
+            ),
+            "early_exit_prunes": stats.early_exit and stats.pruned >= 100,
+        },
+    }
+    return _RESULTS
+
+
+def test_s2a_zero_divergence(benchmark):
+    results = _measure()
+    assert results["divergence"]["batch_identical"], (
+        "jobs=4 returned a different VerificationResult batch than jobs=1"
+    )
+    assert results["divergence"]["probe_agrees"], (
+        "fan-out consistency probe disagrees with the monolithic compile"
+    )
+
+    goal, constraints, props = _workload()
+    benchmark(lambda: verify_properties(goal, constraints, props[:2]))
+
+    rows = [[r["jobs"], round(r["batch_s"] * 1e3, 1), r["speedup"]]
+            for r in results["sweep"]]
+    save_table(
+        "S2_parallel",
+        render_table(
+            "S2: batch verification wall time vs jobs "
+            f"({results['properties']} properties, "
+            f"2^{N_CONSTRAINTS} DNF branches)",
+            ["jobs", "batch ms", "speedup"],
+            rows,
+            note=f"cpu_count={results['cpu_count']}; early exit examined "
+            f"{results['fanout']['examined']}/"
+            f"{results['fanout']['disjuncts_total']} branches on the "
+            "consistent probe. Proposition 4.1 puts the exponent in N; "
+            "the fan-out buys back a core-count factor of it.",
+        ),
+    )
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup gate needs >=4 cores (measured in CI)")
+def test_s2b_speedup_2x_at_jobs4():
+    results = _measure()
+    at4 = next(r for r in results["sweep"] if r["jobs"] == 4)
+    assert at4["speedup"] >= 2.0, (
+        f"expected >=2x speedup at jobs=4, got {at4['speedup']:.2f}x "
+        f"(sequential {results['sweep'][0]['batch_s']:.3f}s, "
+        f"jobs=4 {at4['batch_s']:.3f}s)"
+    )
+
+
+def test_s2c_early_exit_prunes_the_branch_space():
+    results = _measure()
+    fanout = results["fanout"]
+    assert fanout["early_exit"], "consistent probe should stop at first hit"
+    assert fanout["examined"] < fanout["disjuncts_total"]
+    assert fanout["pruned"] >= 100, (
+        f"expected >=100 of {fanout['disjuncts_total']} branches pruned, "
+        f"got {fanout['pruned']}"
+    )
+
+
+def test_s2d_emit_json():
+    results = _measure()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_parallel.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")

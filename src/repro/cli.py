@@ -19,6 +19,12 @@ unchanged specifications from the persistent
 :class:`~repro.core.compiler.CompileCache`, and ``--no-cache`` to force
 a from-scratch compile.
 
+``verify --jobs N`` (default ``$REPRO_JOBS``, else 1) verifies the
+file's properties on ``N`` worker processes — one full sequential
+verification per property per worker, so the report is identical at any
+``N`` — and ``--witness-seed`` pins the witness schedule printed for
+failing properties.
+
 ``run --trace FILE`` records the run — spans, every scheduler decision,
 and the final summary — into a JSONL flight-recorder trace whose header
 embeds the specification, chaos plan, and retry policies, so ``repro
@@ -35,7 +41,6 @@ import sys
 from typing import Sequence
 
 from .core.static import analyze
-from .core.verify import verify_property
 from .ctr.pretty import pretty
 from .errors import ReproError
 from .spec import Specification, load_specification
@@ -72,6 +77,19 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "schedules":
             command.add_argument(
                 "--limit", type=int, default=100, help="maximum schedules to print"
+            )
+        if name == "verify":
+            command.add_argument(
+                "--jobs", type=int, default=None, metavar="N",
+                help="verify properties on N worker processes "
+                     "(0 = all cores; default: $REPRO_JOBS if set, else 1). "
+                     "Results are identical at any N.",
+            )
+            command.add_argument(
+                "--witness-seed", type=int, default=None, metavar="SEED",
+                help="seed the witness schedule reported for failing "
+                     "properties (default: deterministic lexicographic "
+                     "minimum)",
             )
         if name == "run":
             command.add_argument(
@@ -178,16 +196,19 @@ def _cmd_schedules(spec: Specification, out, limit: int, cache=None) -> int:
     return 0
 
 
-def _cmd_verify(spec: Specification, out, cache=None) -> int:
+def _cmd_verify(spec: Specification, out, cache=None, jobs=None, seed=None) -> int:
     if not spec.properties:
         print("specification declares no properties", file=out)
         return 0
+    from .core.verify import verify_properties
+
+    results = verify_properties(
+        spec.goal, list(spec.constraints),
+        [prop for _, prop in spec.properties], rules=spec.rules,
+        cache=cache, jobs=jobs, seed=seed,
+    )
     failures = 0
-    for name, prop in spec.properties:
-        result = verify_property(
-            spec.goal, list(spec.constraints), prop, rules=spec.rules,
-            cache=cache,
-        )
+    for (name, prop), result in zip(spec.properties, results):
         status = "HOLDS" if result.holds else "FAILS"
         print(f"[{status}] {name}: {prop}", file=out)
         if not result.holds:
@@ -368,7 +389,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if args.command == "schedules":
             return _cmd_schedules(spec, out, args.limit, cache=cache)
         if args.command == "verify":
-            return _cmd_verify(spec, out, cache=cache)
+            return _cmd_verify(spec, out, cache=cache, jobs=args.jobs,
+                               seed=args.witness_seed)
         if args.command == "run":
             return _cmd_run(spec, out, args)
         if args.command == "dot":

@@ -27,6 +27,14 @@ from .engine import ExecutionReport, WorkflowEngine, first_strategy, random_stra
 from .excise import ExciseStats, excise, flat_executable, has_knot
 from .explain import Rejection, explain_rejection, is_allowed
 from .incremental import add_constraint, add_constraints
+from .parallel import (
+    ConsistencyOutcome,
+    FanoutStats,
+    check_consistency,
+    compile_parallel,
+    resolve_jobs,
+    shutdown_pool,
+)
 from .resilience import (
     ChaosOracle,
     FailureRecord,
@@ -37,13 +45,14 @@ from .resilience import (
     SystemClock,
     VirtualClock,
 )
-from .scheduler import Scheduler, SchedulerMark, SchedulerStats
+from .scheduler import Scheduler, SchedulerMark, SchedulerStats, seeded_strategy
 from .sync import TokenFactory, sync_order
 from .verify import (
     VerificationResult,
     is_consistent,
     is_redundant,
     redundant_constraints,
+    verify_properties,
     verify_property,
 )
 
@@ -76,9 +85,17 @@ __all__ = [
     "SystemClock",
     "is_consistent",
     "verify_property",
+    "verify_properties",
     "VerificationResult",
     "is_redundant",
     "redundant_constraints",
+    "check_consistency",
+    "compile_parallel",
+    "ConsistencyOutcome",
+    "FanoutStats",
+    "resolve_jobs",
+    "shutdown_pool",
+    "seeded_strategy",
     "compile_modular",
     "ScopedConstraints",
     "SagaStep",

@@ -150,6 +150,13 @@ class CompileCache:
     removed. Specifications containing :class:`~repro.ctr.formulas.Test`
     nodes with attached predicates are *uncacheable* (a callable cannot be
     content-addressed) and silently bypass the cache.
+
+    A cache directory may be shared by many processes at once (the
+    parallel verifier of :mod:`repro.core.parallel` hands every worker
+    the same directory): entry writes are atomic (``mkstemp`` +
+    ``os.replace``), and every stat/unlink tolerates a sibling process
+    having evicted or rewritten the entry first — a vanished file is
+    simply someone else's eviction, never an error.
     """
 
     def __init__(self, directory: str | os.PathLike, max_entries: int = 256):
@@ -251,11 +258,21 @@ class CompileCache:
         self._evict()
 
     def _evict(self) -> None:
-        entries = sorted(
-            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
-        )
-        for stale in entries[: max(0, len(entries) - self.max_entries)]:
-            stale.unlink(missing_ok=True)
+        # Concurrent workers race here by design: another process may
+        # evict (or rewrite) an entry between our glob, stat, and unlink.
+        # Each step tolerates the file vanishing underneath it.
+        entries: list[tuple[float, Path]] = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # evicted by a sibling process mid-scan
+        entries.sort(key=lambda item: item[0])
+        for _, stale in entries[: max(0, len(entries) - self.max_entries)]:
+            try:
+                stale.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - concurrent unlink race
+                pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
@@ -275,6 +292,7 @@ def compile_workflow(
     rules: RuleBase | None = None,
     obs=None,
     cache: CompileCache | str | os.PathLike | None = None,
+    jobs: int | None = 1,
 ) -> CompiledWorkflow:
     """Compile a workflow specification ``G ∧ C`` into executable form.
 
@@ -296,7 +314,20 @@ def compile_workflow(
     expansion, the unique-event check, Apply, and Excise. The cache key is
     computed on the *rule-expanded* goal, so editing a rule invalidates
     dependent specifications too.
+
+    ``jobs`` > 1 delegates to
+    :func:`~repro.core.parallel.compile_parallel`: the constraint set's
+    DNF branches compile on worker processes and assemble as their ``∨``.
+    The assembled workflow is trace-equivalent to (but not structurally
+    identical with) the sequential compile; the default ``jobs=1`` is the
+    sequential pipeline, bit for bit.
     """
+    if jobs != 1:
+        from .parallel import compile_parallel, resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            return compile_parallel(goal, constraints, rules=rules, jobs=jobs,
+                                    cache=cache, obs=obs)
     cache = CompileCache.coerce(cache)
     key = None
     if cache is not None:

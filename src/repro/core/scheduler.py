@@ -27,7 +27,21 @@ from ..ctr.machine import Config, Machine
 from ..errors import IneligibleEventError, SchedulingError
 from ..ctr.traces import TooManyTracesError
 
-__all__ = ["Scheduler", "SchedulerMark", "SchedulerStats"]
+__all__ = ["Scheduler", "SchedulerMark", "SchedulerStats", "seeded_strategy"]
+
+
+def seeded_strategy(seed: int) -> Callable[[frozenset[str]], str]:
+    """A deterministic pseudo-random pick for :meth:`Scheduler.run`.
+
+    Draws from a :class:`random.Random` seeded with ``seed`` over the
+    *sorted* eligible set, so the same seed replays the same schedule on
+    any machine and in any process — the witness-determinism contract of
+    :func:`repro.core.verify.verify_property`'s ``seed`` parameter.
+    """
+    import random
+
+    rng = random.Random(seed)
+    return lambda events: rng.choice(sorted(events))
 
 
 @dataclass

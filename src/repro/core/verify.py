@@ -17,6 +17,15 @@ As Proposition 4.1 shows, these problems are NP-complete in the size of
 the constraint set (never in the size of the graph — Apply is linear in
 ``|G|``); for order-constraint-only specifications ``d = 1`` and the whole
 pipeline runs in polynomial time.
+
+That NP-hard disjunct space is also embarrassingly parallel: every entry
+point here takes a ``jobs=`` knob that fans the work out across the
+process pool of :mod:`repro.core.parallel` — per DNF branch for a single
+consistency/verification question, per property or per constraint for the
+batch forms. ``jobs=1`` (the default) is exactly the sequential code
+path, and ``jobs=N`` is guaranteed to return identical results (booleans,
+counterexample goals, witness schedules) — see the determinism contract
+in :mod:`repro.core.parallel`.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ __all__ = [
     "is_consistent",
     "VerificationResult",
     "verify_property",
+    "verify_properties",
     "is_redundant",
     "redundant_constraints",
 ]
@@ -42,9 +52,23 @@ def is_consistent(
     goal: Goal,
     constraints: list[Constraint] | tuple[Constraint, ...] = (),
     rules: RuleBase | None = None,
+    jobs: int | None = 1,
+    cache=None,
 ) -> bool:
-    """Theorem 5.8: does ``goal ∧ constraints`` have a legal execution?"""
-    return compile_workflow(goal, constraints, rules=rules).consistent
+    """Theorem 5.8: does ``goal ∧ constraints`` have a legal execution?
+
+    ``jobs>1`` decides the question by parallel DNF-branch fan-out with
+    first-success early exit instead of one monolithic compile; the
+    boolean is the same either way.
+    """
+    if jobs != 1:
+        from .parallel import check_consistency, resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            return check_consistency(
+                goal, constraints, rules=rules, jobs=jobs, cache=cache
+            ).consistent
+    return compile_workflow(goal, constraints, rules=rules, cache=cache).consistent
 
 
 @dataclass(frozen=True)
@@ -73,19 +97,45 @@ def verify_property(
     prop: Constraint,
     rules: RuleBase | None = None,
     cache=None,
+    jobs: int | None = 1,
+    seed: int | None = None,
 ) -> VerificationResult:
     """Theorem 5.9: check that every legal execution satisfies ``prop``.
 
     ``cache`` (a :class:`~repro.core.compiler.CompileCache` or directory
     path) persists the ``G ∧ C ∧ ¬Φ`` compilation; re-verifying an
     unchanged specification is then a cache hit per property.
+
+    ``seed`` pins the witness schedule extracted from a failing property:
+    ``None`` (the default) keeps the deterministic lexicographic-minimum
+    strategy, an integer draws via
+    :func:`~repro.core.scheduler.seeded_strategy` — both reproduce the
+    identical witness across reruns, processes, and ``jobs`` settings.
+
+    ``jobs>1`` decides ``holds`` by parallel disjunct fan-out of
+    ``C ∧ ¬Φ`` with first-counterexample early exit; a failing property
+    then materializes the canonical counterexample sequentially so the
+    returned result is bit-for-bit the ``jobs=1`` one.
     """
+    if jobs != 1:
+        from .parallel import resolve_jobs, verify_property_parallel
+
+        if resolve_jobs(jobs) > 1:
+            return verify_property_parallel(
+                goal, constraints, prop, rules=rules, jobs=jobs, cache=cache,
+                seed=seed,
+            )
     negated = negate(prop)
     violating: CompiledWorkflow = compile_workflow(
         goal, list(constraints) + [negated], rules=rules, cache=cache
     )
     if violating.consistent:
-        witness = violating.scheduler().run()
+        strategy = None
+        if seed is not None:
+            from .scheduler import seeded_strategy
+
+            strategy = seeded_strategy(seed)
+        witness = violating.scheduler().run(strategy=strategy)
         return VerificationResult(
             property=prop,
             holds=False,
@@ -95,33 +145,83 @@ def verify_property(
     return VerificationResult(property=prop, holds=True)
 
 
+def verify_properties(
+    goal: Goal,
+    constraints: list[Constraint] | tuple[Constraint, ...],
+    props: list[Constraint] | tuple[Constraint, ...],
+    rules: RuleBase | None = None,
+    cache=None,
+    jobs: int | None = 1,
+    seed: int | None = None,
+    obs=None,
+) -> list[VerificationResult]:
+    """Theorem 5.9 for a batch of properties (results in ``props`` order).
+
+    With ``jobs>1`` each property verifies on its own worker process (the
+    batch analogue of ``verify --jobs N``); every worker runs the exact
+    sequential :func:`verify_property`, so the batch is bit-for-bit the
+    sequential list at any ``jobs``.
+    """
+    from .parallel import verify_properties as fanout
+
+    return fanout(goal, constraints, props, rules=rules, jobs=jobs,
+                  cache=cache, seed=seed, obs=obs)
+
+
 def is_redundant(
     goal: Goal,
     constraints: list[Constraint] | tuple[Constraint, ...],
     phi: Constraint,
     rules: RuleBase | None = None,
+    jobs: int | None = 1,
+    cache=None,
+    seed: int | None = None,
 ) -> bool:
     """Theorem 5.10: is ``phi`` implied by the remaining specification?
 
-    ``phi`` must be a member of ``constraints``.
+    ``phi`` must be a member of ``constraints``. Exactly *one* occurrence
+    is removed: with hash-consed constraints a specification can list the
+    same constraint twice, and dropping every copy would silently change
+    the question from "is this occurrence implied by the rest?" (trivially
+    yes — the duplicate remains) to "is it implied by the others?".
     """
-    remaining = [c for c in constraints if c != phi]
-    if len(remaining) == len(constraints):
-        raise ValueError("phi is not one of the given constraints")
-    return verify_property(goal, remaining, phi, rules=rules).holds
+    remaining = list(constraints)
+    try:
+        remaining.remove(phi)
+    except ValueError:
+        raise ValueError("phi is not one of the given constraints") from None
+    return verify_property(
+        goal, remaining, phi, rules=rules, jobs=jobs, cache=cache, seed=seed
+    ).holds
 
 
 def redundant_constraints(
     goal: Goal,
     constraints: list[Constraint] | tuple[Constraint, ...],
     rules: RuleBase | None = None,
+    jobs: int | None = 1,
+    cache=None,
+    seed: int | None = None,
 ) -> list[Constraint]:
     """Every constraint implied by the rest of the specification.
 
     Note that redundancy is not monotone under removal (two constraints can
     each be redundant given the other); this reports each constraint's
     redundancy with respect to all the others, as in Theorem 5.10.
+
+    The N checks are independent compilations; ``jobs>1`` runs one per
+    worker process and returns the identical list.
     """
+    if jobs != 1:
+        from .parallel import redundant_constraints as fanout
+        from .parallel import resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            return fanout(goal, constraints, rules=rules, jobs=jobs,
+                          cache=cache, seed=seed)
     return [
-        phi for phi in constraints if is_redundant(goal, constraints, phi, rules=rules)
+        phi
+        for phi in constraints
+        if is_redundant(goal, constraints, phi, rules=rules, cache=cache,
+                        seed=seed)
     ]

@@ -167,3 +167,78 @@ class TestCLI:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         assert main(["verify", str(spec)]) == 0
         assert len(list(cache_dir.glob("*.json"))) == 1
+
+
+def _hammer_cache(args):
+    """Worker: compile a sweep of goals against one shared cache directory.
+
+    Module-level so it pickles across the process boundary. A tiny
+    ``max_entries`` forces constant eviction, so concurrent workers race
+    stat/unlink against each other's writes — the scenario the cache's
+    OSError tolerance exists for.
+    """
+    directory, worker, rounds = args
+    from repro.constraints.algebra import must, order
+    from repro.core.compiler import CompileCache, compile_workflow
+    from repro.ctr.formulas import atoms
+
+    cache = CompileCache(directory, max_entries=3)
+    a, b, c = atoms("a b c")
+    for i in range(rounds):
+        goal = (a | b) >> c
+        constraints = [order("a", "c"), must(f"x{(worker + i) % 7}")]
+        # Twice back-to-back: the second compile hits the entry the first
+        # just wrote (a fresh entry is never the LRU eviction victim).
+        for _ in range(2):
+            compiled = compile_workflow(goal, constraints, cache=cache)
+            if compiled.consistent:  # every spec here demands a missing event
+                return ("inconsistent-expected", worker, i)
+    return ("ok", cache.hits)
+
+
+class TestMultiprocessSharing:
+    def test_concurrent_workers_share_one_directory(self, tmp_path):
+        import multiprocessing as mp
+
+        directory = tmp_path / "shared"
+        jobs = [(str(directory), worker, 12) for worker in range(4)]
+        with mp.Pool(4) as pool:
+            results = pool.map(_hammer_cache, jobs)
+        assert all(r[0] == "ok" for r in results)
+        # Eviction kept running throughout the stampede.
+        assert len(list(directory.glob("*.json"))) <= 3
+        # The shared directory actually served cross-round hits.
+        assert sum(r[1] for r in results) > 0
+
+    def test_eviction_tolerates_concurrent_unlink(self, tmp_path, monkeypatch):
+        """A concurrent evictor unlinking between scandir and stat must not
+        blow up this process's eviction pass."""
+        import pathlib
+
+        cache = CompileCache(tmp_path, max_entries=1)
+        a, b = atoms("a b")
+        compile_workflow(a >> b, [order("a", "b")], cache=cache)
+
+        real_stat = pathlib.Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self.suffix == ".json":
+                raise FileNotFoundError(self)
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+        # Triggers eviction; every stat sees the entry already gone.
+        compile_workflow(a >> b, [order("b", "a")], cache=cache)
+
+    def test_unlink_race_is_silent(self, tmp_path, monkeypatch):
+        import pathlib
+
+        cache = CompileCache(tmp_path, max_entries=1)
+        a, b = atoms("a b")
+        compile_workflow(a >> b, [order("a", "b")], cache=cache)
+
+        def racing_unlink(self, *args, **kwargs):
+            raise FileNotFoundError(self)
+
+        monkeypatch.setattr(pathlib.Path, "unlink", racing_unlink)
+        compile_workflow(a >> b, [order("b", "a")], cache=cache)

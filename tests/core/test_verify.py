@@ -124,3 +124,45 @@ class TestRedundancy:
         # Both hold structurally: each is implied even without the other.
         assert klein_order("a", "b") in redundant
         assert must("a") in redundant
+
+
+class TestRedundancyDuplicates:
+    def test_duplicate_occurrence_is_redundant(self):
+        # With hash-consing the two ∇a literals are the same object; removing
+        # *every* occurrence used to leave nothing behind, so the duplicate
+        # was wrongly reported as non-redundant. One copy must remain.
+        goal = A >> B
+        constraints = [must("a"), must("a")]
+        assert is_redundant(goal, constraints, must("a"))
+
+    def test_duplicate_listing_reports_both_occurrences(self):
+        goal = A >> B
+        constraints = [causes("a", "b"), causes("a", "b")]
+        assert redundant_constraints(goal, constraints) == constraints
+
+    def test_single_occurrence_still_uses_the_rest(self):
+        # Sanity check the fix removes exactly one: with a lone non-implied
+        # constraint the answer stays False.
+        goal = A | B | C
+        constraints = [order("a", "b"), causes("b", "c")]
+        assert not is_redundant(goal, constraints, causes("b", "c"))
+
+
+class TestWitnessSeed:
+    def test_seeded_witness_is_stable_and_violating(self):
+        goal = (A | B) >> C
+        prop = order("c", "a")
+        first = verify_property(goal, [], prop, seed=42)
+        second = verify_property(goal, [], prop, seed=42)
+        assert not first.holds
+        assert first.witness == second.witness
+        assert first.witness in traces(goal)
+        assert not satisfies(first.witness, prop)
+
+    def test_different_seeds_may_differ_but_all_violate(self):
+        goal = (A | B | C) >> D
+        prop = must("z")
+        for seed in range(5):
+            result = verify_property(goal, [], prop, seed=seed)
+            assert not result.holds
+            assert result.witness in traces(goal)
