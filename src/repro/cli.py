@@ -8,6 +8,7 @@
     python -m repro run SPEC          # execute one schedule (log-only oracle)
     python -m repro show SPEC         # print the compiled goal
     python -m repro trace ...         # record / show / diff / replay run traces
+    python -m repro serve             # JSON-over-HTTP verification service
 
 ``SPEC`` is a text file in the :mod:`repro.spec` format. Exit status is 0
 on success, 1 when the specification is inconsistent, a property fails,
@@ -122,6 +123,35 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--metrics", action="store_true",
                 help="print the metrics registry after the run",
             )
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP verification service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8745,
+                       help="bind port, 0 for ephemeral (default: 8745)")
+    serve.add_argument("--specs-dir", metavar="DIR", default=None,
+                       help="directory of *.workflow/*.spec files to register "
+                            "by stem and hot-reload on change")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes per verification batch "
+                            "(0 = all cores; default: $REPRO_JOBS if set, else 1)")
+    serve.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                       help="max queued properties before shedding with 429 "
+                            "(default: 256)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="coalescing window before a batch dispatches "
+                            "(default: 0.005)")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="SECONDS",
+                       help="default per-request deadline; requests may "
+                            "override with a 'timeout' field (default: 30)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent compile cache directory "
+                            "(default: $REPRO_CACHE_DIR if set)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without a persistent compile cache")
 
     trace = sub.add_parser("trace", help="inspect and replay recorded run traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -346,6 +376,57 @@ def _cmd_trace(args, out) -> int:
     return 1
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+    import signal
+
+    from .service import VerificationService
+
+    jobs = args.jobs
+    if jobs is None:
+        from .core.parallel import resolve_jobs
+
+        jobs = resolve_jobs(None)
+    service = VerificationService(
+        specs_dir=args.specs_dir,
+        cache=_cache_from_args(args),
+        jobs=jobs,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        default_deadline=args.deadline,
+    )
+
+    async def run() -> None:
+        host, port = await service.start(args.host, args.port)
+        names = service.registry.names()
+        print(f"serving on http://{host}:{port}"
+              + (f" ({len(names)} specs: {', '.join(names)})" if names else ""),
+              file=out, flush=True)
+        loop = asyncio.get_running_loop()
+        stop = loop.create_task(service.serve_forever())
+
+        def request_shutdown() -> None:
+            stop.cancel()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        try:
+            await stop
+        finally:
+            print("draining...", file=out, flush=True)
+            await service.shutdown(drain=True)
+            print("shutdown complete", file=out, flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # signal handler unavailable (e.g. Windows)
+        pass
+    return 0
+
+
 def _cmd_dot(spec: Specification, out, cache=None) -> int:
     from .graph.dot import goal_to_dot
 
@@ -382,6 +463,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     try:
         if args.command == "trace":
             return _cmd_trace(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         spec = load_specification(args.spec)
         cache = _cache_from_args(args)
         if args.command == "check":

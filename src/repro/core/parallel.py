@@ -55,6 +55,7 @@ from __future__ import annotations
 import atexit
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -79,19 +80,50 @@ __all__ = [
 ]
 
 
+# Warn about a malformed $REPRO_JOBS only once per process: the knob is
+# consulted on every entry-point call, and a daemon serving thousands of
+# requests must not emit thousands of identical warnings.
+_warned_jobs_values: set[str] = set()
+
+
+def _warn_jobs_once(raw: str, reason: str) -> None:
+    if raw in _warned_jobs_values:
+        return
+    _warned_jobs_values.add(raw)
+    warnings.warn(
+        f"ignoring REPRO_JOBS={raw!r}: {reason}; running sequentially (jobs=1)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``jobs`` knob to a concrete worker count.
 
-    ``None`` consults ``$REPRO_JOBS`` (unset/invalid → 1, the sequential
-    default); ``0`` or negative means "all cores" (``os.cpu_count()``).
+    ``None`` consults ``$REPRO_JOBS``: whitespace is tolerated around an
+    integer (``" 4 "`` is 4), an unset/empty variable means 1 (the
+    sequential default), ``0`` means "all cores" (``os.cpu_count()``), and
+    a malformed value — non-integer like ``"all"``, or a negative count —
+    is clamped to 1 with a once-per-process :class:`RuntimeWarning`
+    (never a silent degrade *or* a surprise fork-bomb). An explicit
+    ``jobs=0`` likewise means all cores; explicit negatives clamp to 1.
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "")
-        try:
-            jobs = int(raw) if raw else 1
-        except ValueError:
+        stripped = raw.strip()
+        if not stripped:
             jobs = 1
-    if jobs <= 0:
+        else:
+            try:
+                jobs = int(stripped)
+            except ValueError:
+                _warn_jobs_once(raw, "not an integer")
+                jobs = 1
+            else:
+                if jobs < 0:
+                    _warn_jobs_once(raw, "negative worker count")
+                    jobs = 1
+    if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
 

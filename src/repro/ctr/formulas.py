@@ -197,19 +197,22 @@ class _Node(Goal):
         return tuple(getattr(self, f) for f in self._FIELDS)
 
     def __eq__(self, other: object) -> bool:
+        # With interning on, structurally equal live nodes are the same
+        # object, so the identity check is the whole comparison. Without
+        # interning (``interning(False)``) equality must stay *structural*
+        # — sets, dicts, and the pass-level caches all rely on it — and it
+        # must not recurse through Python frames: structurally equal goals
+        # a few hundred nodes deep would otherwise raise RecursionError.
         if self is other:
             return True
         if type(other) is not type(self):
             return NotImplemented
-        return self._key() == other._key()  # type: ignore[attr-defined]
+        return _structural_eq(self, other)
 
     def __hash__(self) -> int:
         h = self._hash
         if h == -1:
-            h = hash((type(self).__name__,) + self._key())
-            if h == -1:
-                h = -2
-            object.__setattr__(self, "_hash", h)
+            h = _structural_hash(self)
         return h
 
     # Nodes are immutable: copies are the object itself, and pickling
@@ -225,6 +228,69 @@ class _Node(Goal):
 
     def __getstate__(self):
         return None
+
+
+def _structural_eq(a: "_Node", b: "_Node") -> bool:
+    """Iterative structural equality over the two nodes' field trees.
+
+    An explicit pair stack replaces recursion (deep non-interned goals
+    must not blow the interpreter stack), and a visited set of id-pairs
+    caps re-comparison of shared subterms, so two DAG-shaped goals compare
+    in time proportional to their distinct node pairs, not their tree
+    sizes.
+    """
+    seen: set[tuple[int, int]] = set()
+    stack: list[tuple[object, object]] = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        pair = (id(x), id(y))
+        if pair in seen:
+            continue
+        if isinstance(x, _Node):
+            if type(x) is not type(y):
+                return False
+            hx, hy = x._hash, y._hash  # type: ignore[attr-defined]
+            if hx != -1 and hy != -1 and hx != hy:
+                return False
+            seen.add(pair)
+            stack.extend(zip(x._key(), y._key()))  # type: ignore[attr-defined]
+        elif isinstance(x, tuple):
+            if not isinstance(y, tuple) or len(x) != len(y):
+                return False
+            seen.add(pair)
+            stack.extend(zip(x, y))
+        elif x != y:
+            return False
+    return True
+
+
+def _structural_hash(node: "_Node") -> int:
+    """Compute and cache ``node._hash`` bottom-up, without deep recursion.
+
+    Children are hashed before their parents (explicit post-order stack),
+    so the final ``hash()`` of each node's key tuple only ever recurses
+    one level into already-cached child hashes.
+    """
+    stack: list[_Node] = [node]
+    while stack:
+        current = stack[-1]
+        pending = [
+            child
+            for value in current._key()
+            for child in (value if isinstance(value, tuple) else (value,))
+            if isinstance(child, _Node) and child._hash == -1  # type: ignore[attr-defined]
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        h = hash((type(current).__name__,) + current._key())
+        if h == -1:
+            h = -2
+        object.__setattr__(current, "_hash", h)
+    return node._hash  # type: ignore[attr-defined]
 
 
 def _make(cls, *values) -> Goal:

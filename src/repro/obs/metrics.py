@@ -18,11 +18,16 @@ prints the same ASCII tables as the paper-validation benchmarks.
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 from ..analysis.metrics import percentile, render_table
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+# Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; registry names
+# use dots ("compile.cache_hits"), which map to underscores.
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 class Counter:
@@ -178,3 +183,36 @@ class MetricsRegistry:
                     )
                 )
         return "\n\n".join(sections)
+
+    def render_prometheus(self) -> str:
+        """Text exposition in the Prometheus line format.
+
+        Dotted registry names become underscore-separated metric names
+        (``service.verify.batches`` → ``service_verify_batches``).
+        Histograms export ``_count``/``_sum`` plus quantile gauges, the
+        summary-metric convention.
+        """
+        lines: list[str] = []
+
+        def emit(name: str, value: float | None,
+                 labels: str = "", kind: str | None = None) -> None:
+            if value is None:
+                return
+            metric = _PROM_SANITIZE.sub("_", name.replace(".", "_"))
+            if kind is not None:
+                lines.append(f"# TYPE {metric} {kind}")
+            rendered = repr(float(value)) if isinstance(value, float) else value
+            lines.append(f"{metric}{labels} {rendered}")
+
+        for name, counter in sorted(self._counters.items()):
+            emit(name, counter.value, kind="counter")
+        for name, gauge in sorted(self._gauges.items()):
+            emit(name, gauge.value, kind="gauge")
+        for name, histogram in sorted(self._histograms.items()):
+            summary = histogram.summary()
+            emit(name + "_count", summary["count"], kind="summary")
+            emit(name + "_sum", summary["total"])
+            if summary["count"]:
+                for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    emit(name, summary[key], labels=f'{{quantile="{q}"}}')
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,47 @@
+"""The workflow verification service (``repro serve``).
+
+A zero-dependency asyncio daemon exposing the library's decision
+procedures — compile (Theorems 5.8/5.11), consistency (5.8), property
+verification (5.9), and schedule enumeration — as JSON over HTTP, with
+the three things a service adds over a library call:
+
+* a :class:`~repro.service.registry.SpecRegistry` of named, versioned,
+  hot-reloadable specifications, backed by the persistent
+  :class:`~repro.core.compiler.CompileCache` so the ``O(d^N·|G|)``
+  compile cost of Theorem 5.11 is paid once per specification *content*,
+  not once per request;
+* a :class:`~repro.service.batcher.VerifyBatcher` that coalesces
+  concurrent verification requests per specification into single batched
+  fan-outs with intra-batch dedup — bit-identical verdicts to
+  per-request calls — plus bounded-queue admission control (429),
+  per-request deadlines on an injectable clock (504), and
+  reject-while-draining (503);
+* graceful shutdown that drains every accepted request, and
+  observability throughout (``/healthz``, ``/metrics``, a span per
+  request when tracing is on).
+"""
+
+from .batcher import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceDrainingError,
+    VerifyBatcher,
+)
+from .client import ServiceClient, ServiceClientError
+from .registry import SpecEntry, SpecRegistry, UnknownSpecError
+from .server import ServiceHandle, VerificationService, serve_in_thread
+
+__all__ = [
+    "SpecRegistry",
+    "SpecEntry",
+    "UnknownSpecError",
+    "VerifyBatcher",
+    "QueueFullError",
+    "ServiceDrainingError",
+    "DeadlineExceededError",
+    "VerificationService",
+    "ServiceHandle",
+    "serve_in_thread",
+    "ServiceClient",
+    "ServiceClientError",
+]

@@ -1,0 +1,346 @@
+"""Request batching and admission control for the verification service.
+
+Verification is the service's expensive operation — each property is an
+Apply/Excise compile of ``G ∧ C ∧ ¬Φ`` (Theorem 5.9), NP-hard in the
+constraint set. It is also, for a service, highly *coalescible*: many
+concurrent requests ask about the same specification, often about the
+same properties. The :class:`VerifyBatcher` exploits that:
+
+* requests are grouped by the specification's batch key (``name@version``
+  from the :class:`~repro.service.registry.SpecRegistry`, so a
+  re-registration racing a request can never join the wrong group);
+* a short *coalescing window* lets concurrent submitters land in the same
+  group before it is dispatched — and while one batch verifies on the
+  executor, newly arriving requests pile into the next one;
+* within a batch, duplicate properties are verified **once** and the
+  result fanned back out to every waiter, via one
+  :func:`~repro.core.verify.verify_properties` call (itself ``jobs``-aware);
+* results are bit-identical to per-request :func:`verify_property` calls —
+  the batch API carries that determinism contract.
+
+Admission control is explicit: a bounded queue measured in *properties*
+(the unit of work), shed-on-full (HTTP 429), reject-while-draining
+(HTTP 503), and a per-request deadline checked against an injectable
+:class:`~repro.core.resilience.Clock` — a
+:class:`~repro.core.resilience.VirtualClock` makes expiry deterministic
+in tests (HTTP 504). Graceful shutdown (:meth:`VerifyBatcher.aclose`)
+stops admissions first, then drains: every request accepted before the
+drain began still gets its verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..constraints.algebra import Constraint
+from ..core.resilience import Clock, SystemClock
+from ..errors import ReproError
+from .registry import SpecEntry, SpecRegistry
+
+__all__ = [
+    "QueueFullError",
+    "ServiceDrainingError",
+    "DeadlineExceededError",
+    "VerifyBatcher",
+]
+
+
+class QueueFullError(ReproError):
+    """Admission denied: accepting this request would overflow the queue."""
+
+    def __init__(self, depth: int, limit: int):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"verification queue is full ({depth}/{limit} properties queued)"
+        )
+
+
+class ServiceDrainingError(ReproError):
+    """Admission denied: the service is shutting down."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new work accepted")
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline passed before its batch was dispatched."""
+
+    def __init__(self, waited: float, deadline: float):
+        self.waited = waited
+        self.deadline = deadline
+        super().__init__(
+            f"request deadline of {deadline:g}s exceeded after {waited:g}s queued"
+        )
+
+
+@dataclass
+class _Request:
+    """One submitted verification request awaiting its batch."""
+
+    entry: SpecEntry
+    props: tuple[Constraint, ...]
+    future: asyncio.Future
+    enqueued_at: float
+    deadline: float | None  # seconds from enqueue, on the injectable clock
+    seed: int | None = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and (now - self.enqueued_at) > self.deadline
+
+
+@dataclass
+class BatcherStats:
+    """Counters the batcher maintains (mirrored into the metrics registry)."""
+
+    submitted: int = 0
+    accepted: int = 0
+    shed: int = 0
+    rejected_draining: int = 0
+    expired: int = 0
+    batches: int = 0
+    verified: int = 0        # unique properties actually verified
+    coalesced: int = 0       # properties answered without verification
+    batch_sizes: list[int] = field(default_factory=list)
+
+
+class VerifyBatcher:
+    """Coalesces concurrent verification requests into batched fan-outs.
+
+    Single event loop, many waiters: :meth:`submit` is awaited by the
+    HTTP handlers; a background consumer task groups pending requests by
+    spec key, runs one ``verify_properties`` per group on ``executor``
+    (keeping the loop free to accept more work), and resolves every
+    waiter's future with its slice of the batch results.
+    """
+
+    def __init__(
+        self,
+        registry: SpecRegistry,
+        *,
+        jobs: int | None = 1,
+        queue_limit: int = 256,
+        batch_window: float = 0.005,
+        default_deadline: float | None = 30.0,
+        clock: Clock | None = None,
+        executor=None,
+        obs=None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        self.registry = registry
+        self.jobs = jobs
+        self.queue_limit = queue_limit
+        self.batch_window = batch_window
+        self.default_deadline = default_deadline
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.executor = executor
+        self.obs = obs
+        self.stats = BatcherStats()
+        self._pending: OrderedDict[str, list[_Request]] = OrderedDict()
+        self._depth = 0  # queued properties across all groups
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the consumer task on the running event loop."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-verify-batcher"
+            )
+
+    async def aclose(self) -> None:
+        """Stop admissions, drain every accepted request, stop the task."""
+        self._draining = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        # Started without a consumer task (tests drive flush() by hand):
+        # drain whatever is still queued so accepted work is never dropped.
+        await self.flush()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def depth(self) -> int:
+        """Queued properties (the unit the queue limit is measured in)."""
+        return self._depth
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(
+        self,
+        entry: SpecEntry,
+        props,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+    ) -> list:
+        """Queue ``props`` for ``entry`` and await their verdicts.
+
+        Returns a list of
+        :class:`~repro.core.verify.VerificationResult`, in ``props``
+        order. Raises :class:`ServiceDrainingError`,
+        :class:`QueueFullError`, or :class:`DeadlineExceededError`.
+        """
+        props = tuple(props)
+        self.stats.submitted += len(props)
+        self._count("service.verify.submitted", len(props))
+        if self._draining:
+            self.stats.rejected_draining += len(props)
+            self._count("service.verify.rejected_draining", len(props))
+            raise ServiceDrainingError()
+        cost = max(len(props), 1)
+        if self._depth + cost > self.queue_limit:
+            self.stats.shed += len(props)
+            self._count("service.verify.shed", len(props))
+            raise QueueFullError(self._depth, self.queue_limit)
+        if deadline is None:
+            deadline = self.default_deadline
+        request = _Request(
+            entry=entry,
+            props=props,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=self.clock.now(),
+            deadline=deadline,
+            seed=seed,
+        )
+        self._pending.setdefault(entry.key, []).append(request)
+        self._depth += cost
+        self.stats.accepted += len(props)
+        self._gauge("service.queue_depth", self._depth)
+        self._wake.set()
+        return await request.future
+
+    # -- the consumer ---------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            if not self._pending:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if self.batch_window > 0 and not self._draining:
+                # The coalescing window: let concurrent submitters join
+                # the groups dequeued below. Real loop time on purpose —
+                # the injectable clock governs request deadlines, not the
+                # daemon's own pacing.
+                await asyncio.sleep(self.batch_window)
+            await self.flush(limit=len(self._pending))
+
+    async def flush(self, limit: int | None = None) -> int:
+        """Dispatch up to ``limit`` pending groups (all of them by default).
+
+        The test seam: deterministic tests enqueue submits, advance a
+        :class:`~repro.core.resilience.VirtualClock`, then flush by hand
+        instead of racing the background task. Returns the number of
+        groups dispatched.
+        """
+        dispatched = 0
+        while self._pending and (limit is None or dispatched < limit):
+            key, requests = self._pending.popitem(last=False)
+            self._depth -= sum(max(len(r.props), 1) for r in requests)
+            self._gauge("service.queue_depth", self._depth)
+            await self._dispatch(key, requests)
+            dispatched += 1
+        return dispatched
+
+    async def _dispatch(self, key: str, requests: list[_Request]) -> None:
+        now = self.clock.now()
+        live: list[_Request] = []
+        for request in requests:
+            if request.future.cancelled():
+                continue
+            if request.expired(now):
+                self.stats.expired += len(request.props)
+                self._count("service.verify.expired", len(request.props))
+                request.future.set_exception(
+                    DeadlineExceededError(now - request.enqueued_at,
+                                          request.deadline)
+                )
+                continue
+            live.append(request)
+        if not live:
+            return
+
+        # Dedup: verify each distinct property once per batch. Constraints
+        # are hash-consed values, so dict identity is semantic identity.
+        unique: OrderedDict[tuple[Constraint, int | None], None] = OrderedDict()
+        for request in live:
+            for prop in request.props:
+                unique.setdefault((prop, request.seed), None)
+        total_props = sum(len(r.props) for r in live)
+        self.stats.batches += 1
+        self.stats.verified += len(unique)
+        self.stats.coalesced += total_props - len(unique)
+        self.stats.batch_sizes.append(total_props)
+        self._count("service.verify.batches")
+        self._count("service.verify.coalesced", total_props - len(unique))
+        self._observe("service.verify.batch_size", total_props)
+        self._observe("service.verify.batch_unique", len(unique))
+
+        entry = live[0].entry
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self.executor, self._verify_batch, entry, list(unique)
+            )
+        except BaseException as exc:  # compile/verify failure fails the batch
+            for request in live:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        by_prop = dict(zip(unique, results))
+        for request in live:
+            if not request.future.cancelled():
+                request.future.set_result(
+                    [by_prop[(prop, request.seed)] for prop in request.props]
+                )
+
+    def _verify_batch(self, entry: SpecEntry, keyed_props: list) -> list:
+        """Runs on the executor thread: one batched verification fan-out."""
+        from ..core.verify import verify_properties
+
+        spec = entry.spec
+        # Group by seed (requests rarely differ); each group is one
+        # verify_properties call so the common case is a single fan-out.
+        results: list = [None] * len(keyed_props)
+        by_seed: OrderedDict[int | None, list[int]] = OrderedDict()
+        for index, (_, seed) in enumerate(keyed_props):
+            by_seed.setdefault(seed, []).append(index)
+        for seed, indices in by_seed.items():
+            verdicts = verify_properties(
+                spec.goal, list(spec.constraints),
+                [keyed_props[i][0] for i in indices],
+                rules=spec.rules, cache=self.registry.cache,
+                jobs=self.jobs, seed=seed,
+            )
+            for index, verdict in zip(indices, verdicts):
+                results[index] = verdict
+        return results
+
+    # -- metrics helpers ------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.obs is not None and self.obs.metrics is not None and amount:
+            self.obs.metrics.inc(name, amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.obs is not None and self.obs.metrics is not None:
+            self.obs.metrics.set_gauge(name, value)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.obs is not None and self.obs.metrics is not None:
+            self.obs.metrics.observe(name, value)

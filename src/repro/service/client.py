@@ -1,0 +1,147 @@
+"""A small blocking client for the verification service.
+
+:class:`ServiceClient` wraps :mod:`http.client` (standard library only,
+matching the daemon's zero-dependency stance) with one keep-alive
+connection per client and JSON in/out. It exists for the test suite, the
+benchmark harness, and the quickstart example; production callers can
+use any HTTP client — the protocol is plain JSON over HTTP/1.1.
+
+Service-side rejections surface as :class:`ServiceClientError` carrying
+the HTTP status, so callers can tell backpressure (429), draining (503),
+and deadline expiry (504) apart from their own bugs (400/404).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(message or f"service returned HTTP {status}")
+
+
+class ServiceClient:
+    """Blocking JSON client over one keep-alive connection.
+
+    Not thread-safe (``http.client`` connections are not); give each
+    thread its own client — they multiplex fine on the server side, which
+    is exactly what the batcher wants.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # A dropped keep-alive connection (server restart, idle
+                # timeout): reconnect once, then give up.
+                self.close()
+                if attempt == 2:
+                    raise
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            data = json.loads(raw) if raw else {}
+        else:
+            data = raw.decode("utf-8")
+        if response.status >= 400:
+            raise ServiceClientError(response.status, data)
+        return data
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- endpoints ------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self, format: str = "text"):
+        """The metrics exposition: Prometheus text, or a dict with
+        ``format="json"``."""
+        suffix = "?format=json" if format == "json" else ""
+        return self._request("GET", "/metrics" + suffix)
+
+    def specs(self) -> list[dict]:
+        return self._request("GET", "/specs")["specs"]
+
+    def register(self, name: str, text: str) -> dict:
+        return self._request("POST", "/specs", {"name": name, "text": text})
+
+    def compile(self, spec: str | None = None, text: str | None = None) -> dict:
+        return self._request("POST", "/compile", _target(spec, text))
+
+    def consistency(self, spec: str | None = None,
+                    text: str | None = None) -> bool:
+        return self._request(
+            "POST", "/consistency", _target(spec, text)
+        )["consistent"]
+
+    def verify(
+        self,
+        spec: str | None = None,
+        text: str | None = None,
+        properties: list[str] | None = None,
+        timeout: float | None = None,
+        seed: int | None = None,
+    ) -> dict:
+        body = _target(spec, text)
+        if properties is not None:
+            body["properties"] = list(properties)
+        if timeout is not None:
+            body["timeout"] = timeout
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/verify", body)
+
+    def schedule(self, spec: str | None = None, text: str | None = None,
+                 limit: int = 1) -> dict:
+        body = _target(spec, text)
+        body["limit"] = limit
+        return self._request("POST", "/schedule", body)
+
+
+def _target(spec: str | None, text: str | None) -> dict:
+    if (spec is None) == (text is None):
+        raise ValueError("provide exactly one of spec= or text=")
+    return {"spec": spec} if spec is not None else {"text": text}

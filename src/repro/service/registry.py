@@ -1,0 +1,265 @@
+"""Named workflow specifications for the verification service.
+
+A :class:`SpecRegistry` is the service's catalog: workflow specifications
+registered by name (over HTTP or preloaded from a specs directory) and
+served to the request handlers as parsed, *versioned* entries. Versioning
+is what keeps the batching and caching layers honest:
+
+* every registration that changes a specification's text bumps its
+  version, and the batch key the :class:`~repro.service.batcher`
+  groups requests under embeds that version — so requests racing a
+  re-registration can never be coalesced with requests for the old text;
+* the in-memory memo of compiled workflows is keyed by the same
+  ``name@version`` pair and dropped on re-registration, while the
+  persistent :class:`~repro.core.compiler.CompileCache` underneath is
+  content-addressed and needs no invalidation at all (the old entry
+  simply stops being asked for).
+
+Entries loaded from a specs directory *hot-reload*: every lookup stats
+the backing file and re-registers it when its mtime changed, so editing
+``orders.workflow`` on disk is visible to the next request without
+restarting the daemon. A file that vanishes keeps serving its last good
+parse — a deploy atomically replacing files must never 404 mid-swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+from ..spec import Specification, parse_specification
+
+__all__ = ["SpecEntry", "SpecRegistry", "UnknownSpecError"]
+
+#: File suffixes the directory scan recognises as specifications.
+SPEC_SUFFIXES = (".workflow", ".spec")
+
+#: How many anonymous (inline-text) entries to remember; content-addressed,
+#: so eviction only costs a re-parse.
+_INLINE_MEMO = 64
+
+
+class UnknownSpecError(ReproError, KeyError):
+    """A request named a specification the registry does not hold."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        message = f"unknown specification {name!r}"
+        if known:
+            message += "; registered: " + ", ".join(sorted(known))
+        ReproError.__init__(self, message)
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One registered specification at one version."""
+
+    name: str
+    version: int
+    text: str
+    spec: Specification
+    source: Path | None = None
+    mtime: float | None = None
+
+    @property
+    def key(self) -> str:
+        """The batch/memo key: stable for a (name, text) pair, never reused
+        across re-registrations with different text."""
+        return f"{self.name}@{self.version}"
+
+
+class SpecRegistry:
+    """Thread-safe catalog of named specifications with compiled memos.
+
+    The registry is touched from the event-loop thread (registration,
+    lookups) *and* from executor threads (compiles), so every access to
+    the internal maps takes ``_lock``. Compilation itself runs outside
+    the lock — two threads racing to compile the same entry do redundant
+    work at worst, and the content-addressed disk cache makes even that
+    mostly a cache hit.
+    """
+
+    def __init__(self, specs_dir: str | Path | None = None, cache=None):
+        from ..core.compiler import CompileCache
+
+        self.cache = CompileCache.coerce(cache)
+        self.specs_dir = Path(specs_dir) if specs_dir is not None else None
+        self._lock = threading.Lock()
+        self._entries: dict[str, SpecEntry] = {}
+        self._compiled: dict[str, object] = {}  # SpecEntry.key -> CompiledWorkflow
+        self._inline: OrderedDict[str, SpecEntry] = OrderedDict()
+        if self.specs_dir is not None:
+            self.load_directory()
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, text: str, source: Path | None = None,
+                 mtime: float | None = None) -> SpecEntry:
+        """Parse and register ``text`` under ``name``; returns the entry.
+
+        Re-registering identical text is a no-op returning the existing
+        entry (same version, memo intact). Different text bumps the
+        version and drops the old version's compiled memo.
+        """
+        spec = parse_specification(text)  # parse errors propagate pre-mutation
+        with self._lock:
+            previous = self._entries.get(name)
+            if previous is not None and previous.text == text:
+                if mtime is not None and previous.mtime != mtime:
+                    # Same content, fresher file: remember the new mtime so
+                    # the hot-reload stat check quiesces.
+                    entry = SpecEntry(name, previous.version, text, previous.spec,
+                                      source=source, mtime=mtime)
+                    self._entries[name] = entry
+                    return entry
+                return previous
+            version = 1 if previous is None else previous.version + 1
+            entry = SpecEntry(name, version, text, spec, source=source, mtime=mtime)
+            self._entries[name] = entry
+            if previous is not None:
+                self._compiled.pop(previous.key, None)
+            return entry
+
+    def unregister(self, name: str) -> bool:
+        """Drop ``name``; returns whether it was registered."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+            if entry is not None:
+                self._compiled.pop(entry.key, None)
+            return entry is not None
+
+    def load_directory(self) -> list[str]:
+        """(Re)load every spec file in ``specs_dir``; returns loaded names.
+
+        The stem is the registered name: ``orders.workflow`` → ``orders``.
+        Unparseable files are skipped (a daemon must come up even when one
+        spec in the directory is mid-edit); they surface on explicit lookup.
+        """
+        if self.specs_dir is None or not self.specs_dir.is_dir():
+            return []
+        loaded = []
+        for path in sorted(self.specs_dir.iterdir()):
+            if path.suffix not in SPEC_SUFFIXES or not path.is_file():
+                continue
+            try:
+                stat = path.stat()
+                self.register(path.stem, path.read_text(encoding="utf-8"),
+                              source=path, mtime=stat.st_mtime)
+                loaded.append(path.stem)
+            except (OSError, ReproError):
+                continue
+        return loaded
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> SpecEntry:
+        """The current entry for ``name``, hot-reloading from disk if stale."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            entry = self._load_from_dir(name)
+            if entry is None:
+                with self._lock:
+                    known = tuple(self._entries)
+                raise UnknownSpecError(name, known)
+            return entry
+        if entry.source is not None:
+            try:
+                mtime = entry.source.stat().st_mtime
+            except OSError:
+                return entry  # file vanished: keep serving the last good parse
+            if mtime != entry.mtime:
+                try:
+                    text = entry.source.read_text(encoding="utf-8")
+                    return self.register(name, text, source=entry.source,
+                                         mtime=mtime)
+                except (OSError, ReproError):
+                    return entry  # mid-edit or unreadable: last good parse
+        return entry
+
+    def _load_from_dir(self, name: str) -> SpecEntry | None:
+        """A file that appeared in ``specs_dir`` after startup."""
+        if self.specs_dir is None:
+            return None
+        for suffix in SPEC_SUFFIXES:
+            path = self.specs_dir / f"{name}{suffix}"
+            try:
+                stat = path.stat()
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            return self.register(name, text, source=path, mtime=stat.st_mtime)
+        return None
+
+    def resolve_inline(self, text: str) -> SpecEntry:
+        """An anonymous entry for inline request text, content-addressed.
+
+        Identical text always resolves to the identical entry (and hence
+        the same batch key), so concurrent inline requests for the same
+        specification coalesce exactly like named ones.
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        name = f"inline:{digest}"
+        with self._lock:
+            entry = self._inline.get(name)
+            if entry is not None:
+                self._inline.move_to_end(name)
+                return entry
+        spec = parse_specification(text)
+        entry = SpecEntry(name, 1, text, spec)
+        with self._lock:
+            self._inline[name] = entry
+            self._inline.move_to_end(name)
+            while len(self._inline) > _INLINE_MEMO:
+                evicted, _ = self._inline.popitem(last=False)
+                self._compiled.pop(f"{evicted}@1", None)
+        return entry
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- compilation ----------------------------------------------------------
+
+    def compiled(self, entry: SpecEntry, obs=None):
+        """``compile_workflow`` for ``entry``, memoized on ``entry.key``.
+
+        The memo holds compiles of the *current* versions only (superseded
+        keys are dropped at registration time); the disk cache underneath
+        persists every version content-addressed, so flapping between two
+        texts stays cheap.
+        """
+        with self._lock:
+            hit = self._compiled.get(entry.key)
+        if hit is not None:
+            return hit
+        from ..core.compiler import compile_workflow
+
+        spec = entry.spec
+        compiled = compile_workflow(spec.goal, list(spec.constraints),
+                                    rules=spec.rules, cache=self.cache, obs=obs)
+        with self._lock:
+            # Don't memoize under a superseded key: a concurrent
+            # re-registration (or inline-memo eviction) may have already
+            # dropped this version.
+            if entry.name.startswith("inline:"):
+                if entry.name in self._inline:
+                    self._compiled[entry.key] = compiled
+            else:
+                current = self._entries.get(entry.name)
+                if current is not None and current.key == entry.key:
+                    self._compiled[entry.key] = compiled
+        return compiled

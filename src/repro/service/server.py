@@ -1,0 +1,575 @@
+"""The asyncio JSON-over-HTTP verification daemon (``repro serve``).
+
+Zero dependencies beyond the standard library: a hand-rolled HTTP/1.1
+server on :func:`asyncio.start_server` with keep-alive, JSON bodies, and
+a deliberately small surface:
+
+========  =================  ==================================================
+method    path               semantics
+========  =================  ==================================================
+GET       ``/healthz``       liveness + registry/queue snapshot
+GET       ``/metrics``       Prometheus text exposition (``?format=json`` too)
+GET       ``/specs``         the registered specifications
+POST      ``/specs``         register/replace ``{"name": ..., "text": ...}``
+POST      ``/compile``       compile; sizes, consistency, pretty goal
+POST      ``/consistency``   Theorem 5.8 for ``{"spec": name}`` or ``{"text"}``
+POST      ``/verify``        Theorem 5.9, *batched* — see below
+POST      ``/schedule``      enumerate allowed executions (``limit`` capped)
+========  =================  ==================================================
+
+``/verify`` goes through the :class:`~repro.service.batcher.VerifyBatcher`:
+concurrent requests for the same specification coalesce into one
+:func:`~repro.core.verify.verify_properties` fan-out, with bounded-queue
+admission (429 when shedding, 503 while draining, 504 past the
+per-request deadline). The other POST endpoints run directly on the
+executor — they are single compiles against the registry's memo and the
+persistent compile cache.
+
+Graceful shutdown (:meth:`VerificationService.shutdown` with
+``drain=True``, the default, wired to SIGINT/SIGTERM by the CLI) stops
+accepting connections and new verify work first, then drains every
+accepted batch and lets in-flight handlers write their responses: an
+accepted request is never dropped.
+
+Observability is on by default for a daemon: a
+:class:`~repro.obs.metrics.MetricsRegistry` rendered by ``/metrics``
+(request counters and latency histograms per endpoint, queue depth,
+batch sizes, shed/expired counts) plus an optional span per request when
+constructed with a tracing :class:`~repro.obs.config.Observability`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..core.resilience import Clock
+from ..errors import ParseError, ReproError
+from ..obs.config import Observability
+from ..obs.metrics import MetricsRegistry
+from .batcher import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceDrainingError,
+    VerifyBatcher,
+)
+from .registry import SpecEntry, SpecRegistry, UnknownSpecError
+
+__all__ = ["VerificationService", "ServiceHandle", "serve_in_thread"]
+
+#: Largest accepted request body; a specification is text, not a payload.
+MAX_BODY_BYTES = 1 << 20
+
+#: Hard cap on schedules returned by one ``/schedule`` call.
+MAX_SCHEDULES = 10_000
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    """Internal: carries a status + JSON error payload to the writer."""
+
+    def __init__(self, status: int, message: str, **extra):
+        self.status = status
+        self.payload = {"error": message, **extra}
+        super().__init__(message)
+
+
+class VerificationService:
+    """The daemon: registry + batcher + HTTP front end, one event loop."""
+
+    def __init__(
+        self,
+        registry: SpecRegistry | None = None,
+        *,
+        specs_dir: str | Path | None = None,
+        cache=None,
+        jobs: int | None = 1,
+        queue_limit: int = 256,
+        batch_window: float = 0.005,
+        default_deadline: float | None = 30.0,
+        clock: Clock | None = None,
+        obs: Observability | None = None,
+    ):
+        if registry is None:
+            registry = SpecRegistry(specs_dir=specs_dir, cache=cache)
+        self.registry = registry
+        self.obs = obs if obs is not None else Observability(
+            metrics=MetricsRegistry()
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-service"
+        )
+        self.batcher = VerifyBatcher(
+            registry,
+            jobs=jobs,
+            queue_limit=queue_limit,
+            batch_window=batch_window,
+            default_deadline=default_deadline,
+            clock=clock,
+            executor=self.executor,
+            obs=self.obs,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutting_down = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
+        if self._server is None or not self._server.sockets:
+            return None
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8745) -> tuple[str, int]:
+        """Bind and start serving; returns the bound address."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, then drain (or cancel) in-flight work.
+
+        ``drain=True`` — the graceful path — completes every accepted
+        verification batch and every in-flight HTTP response before
+        returning. ``drain=False`` abandons the queue (waiters see 503).
+        """
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            await self.batcher.aclose()
+            # Wait for in-flight *requests* (not idle keep-alive sockets —
+            # a parked client must not be able to hold shutdown hostage):
+            # every accepted request finishes writing its response.
+            await self._idle.wait()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+        else:
+            self.batcher._draining = True
+            for task in list(self._connections):
+                task.cancel()
+            for group in list(self.batcher._pending.values()):
+                for request in group:
+                    if not request.future.done():
+                        request.future.set_exception(ServiceDrainingError())
+            self.batcher._pending.clear()
+            if self.batcher._task is not None:
+                self.batcher._wake.set()
+                await asyncio.gather(self.batcher._task, return_exceptions=True)
+        self.executor.shutdown(wait=True)
+
+    # -- connection handling --------------------------------------------------
+
+    def _on_connection(self, reader, writer) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, exc.payload,
+                        "application/json", keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                self._begin_request()
+                try:
+                    status, payload, content_type = await self._route(
+                        method, path, query, body
+                    )
+                    await self._write_response(
+                        writer, status, payload, content_type,
+                        keep_alive=keep_alive,
+                    )
+                finally:
+                    self._end_request()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _write_response(self, writer, status, payload, content_type,
+                              keep_alive: bool) -> None:
+        raw = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload, default=str).encode("utf-8")
+        )
+        writer.write(
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(raw)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n".encode("ascii")
+        )
+        writer.write(raw)
+        await writer.drain()
+
+    def _begin_request(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._idle.set()
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request; None on clean EOF between requests."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, ValueError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("ascii").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        path, _, query_string = target.partition("?")
+        query = {}
+        for pair in query_string.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, query, headers, body
+
+    # -- routing --------------------------------------------------------------
+
+    async def _route(self, method, path, query, body):
+        """Dispatch; returns (status, payload, content-type)."""
+        endpoint = path.strip("/").replace("/", ".") or "root"
+        metrics = self.obs.metrics
+        started = asyncio.get_running_loop().time()
+        span = self.obs.tracer.span(f"http.{endpoint}", method=method)
+        try:
+            with span:
+                status, payload, content_type = await self._handle(
+                    method, path, query, body
+                )
+        except _HttpError as exc:
+            status, payload, content_type = (
+                exc.status, exc.payload, "application/json",
+            )
+        except ReproError as exc:
+            status = _status_for(exc)
+            payload = {"error": str(exc), "kind": type(exc).__name__}
+            content_type = "application/json"
+        except Exception as exc:  # never kill the connection loop
+            status = 500
+            payload = {"error": str(exc), "kind": type(exc).__name__}
+            content_type = "application/json"
+        if metrics is not None:
+            metrics.inc(f"service.http.{endpoint}.requests")
+            if status >= 400:
+                metrics.inc(f"service.http.{endpoint}.errors")
+            metrics.observe(
+                f"service.http.{endpoint}.latency",
+                asyncio.get_running_loop().time() - started,
+            )
+        return status, payload, content_type
+
+    async def _handle(self, method, path, query, body):
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "draining" if self._shutting_down else "ok",
+                "specs": len(self.registry),
+                "queue_depth": self.batcher.depth,
+                "queue_limit": self.batcher.queue_limit,
+            }, "application/json"
+        if path == "/metrics" and method == "GET":
+            registry = self.obs.metrics or MetricsRegistry()
+            if query.get("format") == "json":
+                return 200, registry.to_dict(), "application/json"
+            return 200, registry.render_prometheus(), "text/plain; version=0.0.4"
+        if path == "/specs" and method == "GET":
+            specs = []
+            for name in self.registry.names():
+                entry = self.registry.get(name)
+                specs.append({
+                    "name": entry.name,
+                    "version": entry.version,
+                    "properties": [p_name for p_name, _ in entry.spec.properties],
+                })
+            return 200, {"specs": specs}, "application/json"
+        if path == "/specs" and method == "POST":
+            data = _json_body(body)
+            name, text = data.get("name"), data.get("text")
+            if not isinstance(name, str) or not isinstance(text, str):
+                raise _HttpError(400, "POST /specs needs string 'name' and 'text'")
+            entry = self.registry.register(name, text)
+            return 200, {"name": entry.name, "version": entry.version}, \
+                "application/json"
+        if method != "POST" or path not in (
+            "/compile", "/consistency", "/verify", "/schedule"
+        ):
+            known = ("/healthz", "/metrics", "/specs", "/compile",
+                     "/consistency", "/verify", "/schedule")
+            if path in known:
+                raise _HttpError(405, f"method {method} not allowed on {path}")
+            raise _HttpError(404, f"no such endpoint {path}")
+
+        data = _json_body(body)
+        entry = self._resolve_entry(data)
+        if path == "/verify":
+            return await self._handle_verify(entry, data)
+        loop = asyncio.get_running_loop()
+        if path == "/compile":
+            compiled = await loop.run_in_executor(
+                self.executor, self.registry.compiled, entry
+            )
+            from ..ctr.formulas import goal_size
+            from ..ctr.pretty import pretty
+
+            return 200, {
+                "spec": entry.name,
+                "version": entry.version,
+                "consistent": compiled.consistent,
+                "source_size": goal_size(compiled.source),
+                "applied_size": compiled.applied_size,
+                "compiled_size": compiled.compiled_size,
+                "compiled": pretty(compiled.goal),
+            }, "application/json"
+        if path == "/consistency":
+            compiled = await loop.run_in_executor(
+                self.executor, self.registry.compiled, entry
+            )
+            return 200, {
+                "spec": entry.name,
+                "consistent": compiled.consistent,
+            }, "application/json"
+        # /schedule
+        limit = data.get("limit", 1)
+        if not isinstance(limit, int) or limit < 1:
+            raise _HttpError(400, "'limit' must be a positive integer")
+        limit = min(limit, MAX_SCHEDULES)
+        compiled = await loop.run_in_executor(
+            self.executor, self.registry.compiled, entry
+        )
+        if not compiled.consistent:
+            return 200, {"spec": entry.name, "consistent": False,
+                         "schedules": []}, "application/json"
+
+        def enumerate_schedules():
+            out = []
+            for schedule in compiled.schedules(limit=limit):
+                out.append(list(schedule))
+                if len(out) >= limit:
+                    break
+            return out
+
+        schedules = await loop.run_in_executor(self.executor, enumerate_schedules)
+        return 200, {"spec": entry.name, "consistent": True,
+                     "schedules": schedules}, "application/json"
+
+    async def _handle_verify(self, entry: SpecEntry, data):
+        from ..constraints.parser import parse_constraint
+
+        requested = data.get("properties")
+        if requested is None:
+            names = [name for name, _ in entry.spec.properties]
+            props = [prop for _, prop in entry.spec.properties]
+        else:
+            if not isinstance(requested, list) or not all(
+                isinstance(p, str) for p in requested
+            ):
+                raise _HttpError(400, "'properties' must be a list of strings")
+            names = list(requested)
+            props = [parse_constraint(p) for p in requested]
+        if not props:
+            return 200, {"spec": entry.name, "results": []}, "application/json"
+        deadline = data.get("timeout")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise _HttpError(400, "'timeout' must be a number of seconds")
+        seed = data.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise _HttpError(400, "'seed' must be an integer")
+        results = await self.batcher.submit(
+            entry, props, deadline=deadline, seed=seed
+        )
+        return 200, {
+            "spec": entry.name,
+            "version": entry.version,
+            "results": [
+                {
+                    "name": name,
+                    "property": str(result.property),
+                    "holds": result.holds,
+                    "witness": list(result.witness) if result.witness else None,
+                }
+                for name, result in zip(names, results)
+            ],
+        }, "application/json"
+
+    def _resolve_entry(self, data) -> SpecEntry:
+        name, text = data.get("spec"), data.get("text")
+        if (name is None) == (text is None):
+            raise _HttpError(400, "provide exactly one of 'spec' or 'text'")
+        if name is not None:
+            if not isinstance(name, str):
+                raise _HttpError(400, "'spec' must be a string")
+            return self.registry.get(name)
+        if not isinstance(text, str):
+            raise _HttpError(400, "'text' must be a string")
+        return self.registry.resolve_inline(text)
+
+
+def _status_for(exc: ReproError) -> int:
+    if isinstance(exc, QueueFullError):
+        return 429
+    if isinstance(exc, ServiceDrainingError):
+        return 503
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, UnknownSpecError):
+        return 404
+    if isinstance(exc, ParseError):
+        return 400
+    return 400
+
+
+def _json_body(body: bytes):
+    if not body:
+        return {}
+    try:
+        data = json.loads(body)
+    except ValueError:
+        raise _HttpError(400, "request body is not valid JSON") from None
+    if not isinstance(data, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return data
+
+
+# -- the synchronous harness ---------------------------------------------------
+
+
+class ServiceHandle:
+    """A running service on a background thread (tests, benchmarks, examples).
+
+    Obtained from :func:`serve_in_thread`; ``stop()`` performs the
+    graceful (draining) shutdown by default.
+    """
+
+    def __init__(self, service: VerificationService, loop, thread):
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self.host, self.port = service.address
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def client(self, timeout: float = 30.0):
+        from .client import ServiceClient
+
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(drain=drain), self._loop
+        )
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    host: str = "127.0.0.1", port: int = 0, **service_kwargs
+) -> ServiceHandle:
+    """Start a :class:`VerificationService` on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; the bound address is on the
+    returned handle. The caller talks to it with any HTTP client —
+    :meth:`ServiceHandle.client` hands out the bundled blocking one.
+    """
+    loop = asyncio.new_event_loop()
+    service = VerificationService(**service_kwargs)
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(service.start(host, port))
+        except BaseException as exc:  # bind failure, bad specs dir, ...
+            failure.append(exc)
+            loop.close()
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-service", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return ServiceHandle(service, loop, thread)

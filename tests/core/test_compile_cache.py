@@ -82,6 +82,49 @@ class TestEviction:
         with pytest.raises(ValueError):
             CompileCache(tmp_path, max_entries=0)
 
+    def test_repeatedly_hit_entry_survives_eviction(self, tmp_path):
+        # Regression guard for the touch-on-read contract: a cache *hit*
+        # must refresh the entry's mtime, otherwise the hottest entry —
+        # stored first, read constantly — has the oldest write time and is
+        # exactly the one mtime-LRU eviction removes when the cap is hit.
+        import os
+        import time
+
+        cache = CompileCache(tmp_path, max_entries=2)
+        hot, warm, cold = A >> B, B >> C, C >> D
+        compile_workflow(hot, cache=cache)   # oldest write
+        compile_workflow(warm, cache=cache)
+        # Backdate both entries, then *hit* the hot one: only the touch
+        # performed by load() can save it from eviction below.
+        for entry in tmp_path.glob("*.json"):
+            os.utime(entry, (1.0, 1.0))
+        hot_key = cache.key(hot)
+        warm_key = cache.key(warm)
+        os.utime(cache._path(warm_key), (2.0, 2.0))
+        assert cache.load(hot_key) is not None  # the touch under test
+        compile_workflow(cold, cache=cache)     # triggers eviction at cap=2
+        assert cache._path(hot_key).exists(), (
+            "hot entry was evicted despite being the most recently used"
+        )
+        assert not cache._path(warm_key).exists()
+
+    def test_touch_tolerates_concurrent_unlink(self, tmp_path, monkeypatch):
+        # A sibling process may evict the entry between our read and the
+        # recency touch; the hit must still be returned, not raise.
+        import os
+
+        cache = CompileCache(tmp_path)
+        compile_workflow(A >> B, cache=cache)
+        key = cache.key(A >> B)
+        real_utime = os.utime
+
+        def racing_utime(path, *args, **kwargs):
+            os.unlink(path)  # the "sibling eviction"
+            return real_utime(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "utime", racing_utime)
+        assert cache.load(key) is not None
+
 
 class TestCorruptEntries:
     def test_corrupt_entry_is_treated_as_miss_and_removed(self, cache):

@@ -9,6 +9,7 @@ pool reuse) stays an implementation detail.
 """
 
 import os
+import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -56,15 +57,46 @@ class TestResolveJobs:
 
     def test_zero_means_all_cores(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)
-        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_explicit_negative_clamps_to_one(self):
+        # A negative count is a caller mistake, not a request for every
+        # core: clamp rather than surprise-fork os.cpu_count() workers.
+        assert resolve_jobs(-1) == 1
 
     def test_none_reads_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(None) == 1
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs(None) == 5
-        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+
+    def test_env_tolerates_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", " 4 ")
+        assert resolve_jobs(None) == 4
+        monkeypatch.setenv("REPRO_JOBS", "   ")
         assert resolve_jobs(None) == 1
+
+    def test_env_negative_clamps_and_warns_once(self, monkeypatch):
+        from repro.core import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_warned_jobs_values", set())
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='-2'"):
+            assert resolve_jobs(None) == 1
+        # The warning fires once per distinct value, not once per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(None) == 1
+
+    def test_env_non_integer_clamps_and_warns_once(self, monkeypatch):
+        from repro.core import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_warned_jobs_values", set())
+        monkeypatch.setenv("REPRO_JOBS", "all")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert resolve_jobs(None) == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(None) == 1
 
 
 class TestConsistencyFanout:

@@ -209,3 +209,72 @@ class TestRawConstructorValidation:
     def test_choice_requires_two_parts(self):
         with pytest.raises(ValueError):
             Choice((A,))
+
+
+class TestStructuralEqualityWithoutInterning:
+    """Equality/hash must stay structural — and iterative — when interning
+    is off: set/dict membership, the pass-level caches, and ``alt()``'s
+    dedup all rely on it (the regression behind the `interning(False)`
+    seam)."""
+
+    def test_membership_across_distinct_objects(self):
+        with interning(False):
+            a1, a2 = Atom("a"), Atom("a")
+            assert a1 is not a2
+            assert a1 == a2 and hash(a1) == hash(a2)
+            assert a2 in {a1}
+            assert {a1: 1}[a2] == 1
+
+    def test_event_names_unaffected_by_duplicates(self):
+        from repro.ctr.formulas import event_names
+
+        with interning(False):
+            goal = seq(Atom("a"), par(Atom("b"), Atom("a")))
+            assert event_names(goal) == frozenset({"a", "b"})
+
+    def test_alt_dedups_structural_duplicates(self):
+        with interning(False):
+            g = alt(seq(Atom("a"), Atom("b")), seq(Atom("a"), Atom("b")))
+            assert not isinstance(g, Choice)  # collapsed to one branch
+
+    def test_deep_goals_compare_without_recursion_error(self):
+        # Regression: __eq__/__hash__ used to recurse one Python frame per
+        # AST level, so structurally equal non-interned goals a few hundred
+        # nodes deep raised RecursionError instead of comparing.
+        def deep(n, name):
+            g = Atom(name)
+            for _ in range(n):
+                g = Possibility(Isolated(g))
+            return g
+
+        with interning(False):
+            g1, g2 = deep(2000, "a"), deep(2000, "a")
+            assert g1 is not g2
+            assert g1 == g2
+            assert hash(g1) == hash(g2)
+            assert g1 != deep(2000, "b")
+
+    def test_cross_mode_equality(self):
+        # A canonical node and a non-interned twin are interchangeable.
+        canonical = seq(A, B)
+        with interning(False):
+            twin = seq(Atom("a"), Atom("b"))
+        assert canonical is not twin
+        assert canonical == twin
+        assert twin in {canonical}
+
+    def test_toggling_mid_pipeline_compiles_identically(self):
+        # The scenario from the issue: flip the context manager in the
+        # middle of a compile pipeline and the answers must not change.
+        from repro.constraints.algebra import order
+        from repro.core.compiler import compile_workflow
+        from repro.ctr.traces import traces
+
+        goal = par(A, B) >> C
+        constraints = [order("a", "b")]
+        reference = compile_workflow(goal, constraints)
+        with interning(False):
+            goal_off = par(Atom("a"), Atom("b")) >> Atom("c")
+            compiled_off = compile_workflow(goal_off, [order("a", "b")])
+        assert compiled_off.consistent == reference.consistent
+        assert traces(compiled_off.goal) == traces(reference.goal)

@@ -133,3 +133,77 @@ class TestMachineAgreement:
     def test_agreement_with_isolation(self):
         goal = Isolated(A >> B) | (C >> D)
         assert machine_traces(goal) == traces(goal)
+
+
+def _parallel_chains(chains: int, length: int):
+    """``chains`` disjoint serial chains of ``length`` events, in parallel."""
+    from repro.ctr.formulas import par, seq
+
+    return par(*[
+        seq(*atoms(" ".join(f"c{i}e{j}" for j in range(length))))
+        for i in range(chains)
+    ])
+
+
+class TestLazyEnumeration:
+    """Regression: budget-bounded questions must answer, not raise.
+
+    ``is_executable``/``count_traces`` used to enumerate the full trace
+    set eagerly and propagate :class:`TooManyTracesError` once a wide
+    goal's interleavings outgrew the budget — even though one valid trace
+    (existence) or the traces seen so far (a lower bound) already answer
+    the question asked.
+    """
+
+    # 6 chains of 4 events: multinomial(24; 4,4,4,4,4,4) ≈ 10^15
+    # interleavings — hopeless to enumerate, trivial to answer about.
+    WIDE = staticmethod(lambda: _parallel_chains(6, 4))
+
+    def test_is_executable_short_circuits_on_wide_goal(self):
+        # Note: the *eager* traces() cannot even fail fast here — it
+        # materializes the full shuffle before its budget check runs —
+        # so the lazy path is the only one that can answer at all.
+        assert is_executable(self.WIDE(), max_traces=100) is True
+
+    def test_eager_oracle_still_raises_past_budget(self):
+        # Smaller wide goal (1680 interleavings): the eager set-builder
+        # keeps its historical contract of raising beyond the budget.
+        with pytest.raises(TooManyTracesError):
+            traces(_parallel_chains(3, 3), max_traces=100)
+
+    def test_count_traces_saturates_instead_of_raising(self):
+        wide = self.WIDE()
+        count = count_traces(wide, max_traces=200)
+        assert not count.exact
+        assert count >= 1  # a usable lower bound, not a traceback
+        assert isinstance(count, int)
+
+    def test_count_traces_exact_within_budget(self):
+        count = count_traces(A | B | C)
+        assert count == 6
+        assert count.exact
+
+    def test_iter_traces_matches_eager_set(self):
+        from repro.ctr.formulas import alt, par, seq
+        from repro.ctr.traces import iter_traces
+
+        corpus = [
+            seq(A, B) | C,
+            alt(A >> B, C >> D),
+            par(A, B, C),
+            Isolated(A >> B) | C,
+            (Send("t") >> A) | (Receive("t") >> B),
+        ]
+        for goal in corpus:
+            assert set(iter_traces(goal)) == traces(goal)
+
+    def test_is_executable_with_unsatisfiable_tokens(self):
+        # receive with no matching send: no interleaving is valid, and the
+        # short-circuit must still conclude False.
+        goal = Receive("ghost") >> A
+        assert is_executable(goal) is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(unique_event_goals(max_events=4))
+    def test_lazy_existence_agrees_with_eager(self, goal):
+        assert is_executable(goal) == bool(traces(goal))

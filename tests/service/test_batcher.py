@@ -1,0 +1,267 @@
+"""VerifyBatcher: coalescing, dedup, backpressure, deadlines, draining.
+
+Driven without the background consumer task wherever determinism matters:
+tests enqueue ``submit`` coroutines as tasks, advance a
+:class:`~repro.core.resilience.VirtualClock`, and call
+:meth:`~repro.service.batcher.VerifyBatcher.flush` by hand — so expiry
+and batching decisions never race wall-clock time.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.resilience import VirtualClock
+from repro.core.verify import verify_property
+from repro.obs import Observability
+from repro.service.batcher import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceDrainingError,
+    VerifyBatcher,
+)
+from repro.service.registry import SpecRegistry
+
+SPEC = """
+goal: receive * (credit | stock) * approve
+constraint: precedes(credit, approve)
+property checked: precedes(credit, approve)
+property backwards: precedes(stock, credit)
+"""
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_batcher(**kwargs):
+    registry = SpecRegistry()
+    entry = registry.register("orders", SPEC)
+    kwargs.setdefault("batch_window", 0)
+    return VerifyBatcher(registry, **kwargs), entry
+
+
+def props_of(entry, *names):
+    by_name = dict(entry.spec.properties)
+    return [by_name[name] for name in names]
+
+
+class TestCoalescing:
+    def test_identical_requests_verify_once(self):
+        async def scenario():
+            batcher, entry = make_batcher()
+            props = props_of(entry, "checked", "backwards")
+            waiters = [
+                asyncio.ensure_future(batcher.submit(entry, props))
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)  # let every submit enqueue
+            assert batcher.depth == 16
+            await batcher.flush()
+            return batcher, await asyncio.gather(*waiters)
+
+        batcher, results = run(scenario())
+        # One batch, two unique properties verified, 14 answered for free.
+        assert batcher.stats.batches == 1
+        assert batcher.stats.verified == 2
+        assert batcher.stats.coalesced == 14
+        first = results[0]
+        assert [r.holds for r in first] == [True, False]
+        for other in results[1:]:
+            assert [r.holds for r in other] == [True, False]
+            # Literally the same result objects: one verification fanned out.
+            assert other[0] is first[0] and other[1] is first[1]
+
+    def test_results_are_bit_identical_to_direct_calls(self):
+        async def scenario():
+            batcher, entry = make_batcher()
+            props = props_of(entry, "checked", "backwards")
+            waiter = asyncio.ensure_future(batcher.submit(entry, props))
+            await asyncio.sleep(0)
+            await batcher.flush()
+            return entry, props, await waiter
+
+        entry, props, results = run(scenario())
+        spec = entry.spec
+        for prop, result in zip(props, results):
+            direct = verify_property(spec.goal, list(spec.constraints), prop,
+                                     rules=spec.rules)
+            assert result.holds == direct.holds
+            assert result.witness == direct.witness
+            assert result.property == direct.property
+
+    def test_different_specs_batch_separately(self):
+        async def scenario():
+            registry = SpecRegistry()
+            orders = registry.register("orders", SPEC)
+            claims = registry.register("claims", "goal: submit * review\n"
+                                                 "property done: happens(review)\n")
+            batcher = VerifyBatcher(registry, batch_window=0)
+            w1 = asyncio.ensure_future(
+                batcher.submit(orders, props_of(orders, "checked")))
+            w2 = asyncio.ensure_future(
+                batcher.submit(claims, props_of(claims, "done")))
+            await asyncio.sleep(0)
+            await batcher.flush()
+            return batcher, await w1, await w2
+
+        batcher, orders_results, claims_results = run(scenario())
+        assert batcher.stats.batches == 2
+        assert orders_results[0].holds and claims_results[0].holds
+
+    def test_requests_get_their_slice_in_order(self):
+        async def scenario():
+            batcher, entry = make_batcher()
+            forward = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked", "backwards")))
+            reverse = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "backwards", "checked")))
+            await asyncio.sleep(0)
+            await batcher.flush()
+            return await forward, await reverse
+
+        forward, reverse = run(scenario())
+        assert [r.holds for r in forward] == [True, False]
+        assert [r.holds for r in reverse] == [False, True]
+
+    def test_compile_failure_fails_every_waiter(self):
+        from repro.errors import UniqueEventError
+
+        async def scenario():
+            registry = SpecRegistry()
+            # `a` occurs twice: compilation raises UniqueEventError.
+            entry = registry.register("dup", "goal: a * a\n"
+                                             "property p: happens(a)\n")
+            batcher = VerifyBatcher(registry, batch_window=0)
+            waiters = [
+                asyncio.ensure_future(
+                    batcher.submit(entry, props_of(entry, "p")))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            await batcher.flush()
+            return await asyncio.gather(*waiters, return_exceptions=True)
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, UniqueEventError) for o in outcomes)
+
+
+class TestBackpressure:
+    def test_queue_overflow_sheds(self):
+        async def scenario():
+            batcher, entry = make_batcher(queue_limit=3)
+            props = props_of(entry, "checked", "backwards")
+            first = asyncio.ensure_future(batcher.submit(entry, props))
+            await asyncio.sleep(0)  # 2 queued properties
+            with pytest.raises(QueueFullError):
+                await batcher.submit(entry, props)  # 2 + 2 > 3: shed
+            await batcher.flush()
+            await first
+            # The queue drained: admission reopens.
+            second = asyncio.ensure_future(batcher.submit(entry, props))
+            await asyncio.sleep(0)
+            await batcher.flush()
+            await second
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.stats.shed == 2
+        assert batcher.stats.accepted == 4
+
+    def test_shed_counts_in_metrics(self):
+        obs = Observability.enabled(trace=False, record=False)
+
+        async def scenario():
+            batcher, entry = make_batcher(queue_limit=1, obs=obs)
+            props = props_of(entry, "checked", "backwards")
+            with pytest.raises(QueueFullError):
+                await batcher.submit(entry, props)
+
+        run(scenario())
+        assert obs.metrics.counter("service.verify.shed").value == 2
+
+    def test_draining_rejects_new_work(self):
+        async def scenario():
+            batcher, entry = make_batcher()
+            await batcher.aclose()
+            with pytest.raises(ServiceDrainingError):
+                await batcher.submit(entry, props_of(entry, "checked"))
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_expired_request_gets_504_not_a_verdict(self):
+        async def scenario():
+            clock = VirtualClock()
+            batcher, entry = make_batcher(clock=clock, default_deadline=10.0)
+            expired = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked"), deadline=5.0))
+            fresh = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked")))
+            await asyncio.sleep(0)
+            clock.advance(7.0)  # past 5s, within the 10s default
+            await batcher.flush()
+            return (
+                await asyncio.gather(expired, return_exceptions=True),
+                await fresh,
+                batcher,
+            )
+
+        (expired,), fresh, batcher = run(scenario())
+        assert isinstance(expired, DeadlineExceededError)
+        assert expired.deadline == 5.0 and expired.waited == 7.0
+        assert fresh[0].holds  # the live request still got its verdict
+        assert batcher.stats.expired == 1
+
+    def test_no_deadline_never_expires(self):
+        async def scenario():
+            clock = VirtualClock()
+            batcher, entry = make_batcher(clock=clock, default_deadline=None)
+            waiter = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked")))
+            await asyncio.sleep(0)
+            clock.advance(1e9)
+            await batcher.flush()
+            return await waiter
+
+        assert run(scenario())[0].holds
+
+
+class TestDraining:
+    def test_aclose_completes_accepted_work(self):
+        async def scenario():
+            batcher, entry = make_batcher(batch_window=0.001)
+            batcher.start()
+            waiters = [
+                asyncio.ensure_future(
+                    batcher.submit(entry, props_of(entry, "checked")))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)
+            await batcher.aclose()
+            results = await asyncio.gather(*waiters)
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert all(r[0].holds for r in results)
+        assert batcher.depth == 0
+        assert batcher.stats.accepted == 5
+
+    def test_background_task_batches_concurrent_submitters(self):
+        async def scenario():
+            batcher, entry = make_batcher(batch_window=0.01)
+            batcher.start()
+            props = props_of(entry, "checked")
+            results = await asyncio.gather(*[
+                batcher.submit(entry, props) for _ in range(6)
+            ])
+            await batcher.aclose()
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert all(r[0].holds for r in results)
+        # The window coalesced all six concurrent submitters into one batch.
+        assert batcher.stats.batches == 1
+        assert batcher.stats.verified == 1
+        assert batcher.stats.coalesced == 5

@@ -1,0 +1,193 @@
+"""SpecRegistry: versioning, memo invalidation, hot reload, inline specs."""
+
+import os
+
+import pytest
+
+from repro.service.registry import SpecRegistry, UnknownSpecError
+
+ORDERS_V1 = """
+goal: receive * (credit | stock) * approve
+constraint: precedes(credit, approve)
+property checked: precedes(credit, approve)
+"""
+
+ORDERS_V2 = """
+goal: receive * (credit | stock) * approve
+constraint: precedes(stock, approve)
+property checked: precedes(stock, approve)
+"""
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = SpecRegistry()
+        entry = registry.register("orders", ORDERS_V1)
+        assert entry.version == 1
+        assert entry.key == "orders@1"
+        assert registry.get("orders") is entry
+        assert "orders" in registry
+        assert registry.names() == ["orders"]
+
+    def test_identical_text_is_a_noop(self):
+        registry = SpecRegistry()
+        first = registry.register("orders", ORDERS_V1)
+        again = registry.register("orders", ORDERS_V1)
+        assert again is first
+        assert again.version == 1
+
+    def test_changed_text_bumps_version(self):
+        registry = SpecRegistry()
+        registry.register("orders", ORDERS_V1)
+        updated = registry.register("orders", ORDERS_V2)
+        assert updated.version == 2
+        assert updated.key == "orders@2"
+
+    def test_unknown_spec_raises_with_known_names(self):
+        registry = SpecRegistry()
+        registry.register("orders", ORDERS_V1)
+        with pytest.raises(UnknownSpecError) as excinfo:
+            registry.get("claims")
+        assert "orders" in str(excinfo.value)
+        # Also a KeyError, so dict-minded callers can catch it naturally.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_parse_error_leaves_registry_unchanged(self):
+        from repro.errors import ParseError
+
+        registry = SpecRegistry()
+        registry.register("orders", ORDERS_V1)
+        with pytest.raises(ParseError):
+            registry.register("orders", "goal: ((((\n")
+        assert registry.get("orders").version == 1
+
+    def test_unregister(self):
+        registry = SpecRegistry()
+        registry.register("orders", ORDERS_V1)
+        assert registry.unregister("orders") is True
+        assert registry.unregister("orders") is False
+        assert len(registry) == 0
+
+
+class TestCompiledMemo:
+    def test_compile_is_memoized_per_version(self):
+        registry = SpecRegistry()
+        entry = registry.register("orders", ORDERS_V1)
+        first = registry.compiled(entry)
+        assert registry.compiled(entry) is first
+
+    def test_reregistration_invalidates_the_memo(self):
+        registry = SpecRegistry()
+        old = registry.register("orders", ORDERS_V1)
+        compiled_old = registry.compiled(old)
+        new = registry.register("orders", ORDERS_V2)
+        compiled_new = registry.compiled(new)
+        assert compiled_new is not compiled_old
+        assert compiled_new.constraints != compiled_old.constraints
+        # The superseded version's memo entry is gone.
+        assert old.key not in registry._compiled
+
+    def test_stale_entry_compile_is_not_memoized(self):
+        # A compile racing a re-registration must not resurrect the old
+        # version's result under a key nobody will invalidate again.
+        registry = SpecRegistry()
+        old = registry.register("orders", ORDERS_V1)
+        registry.register("orders", ORDERS_V2)
+        registry.compiled(old)  # still returns a correct result...
+        assert old.key not in registry._compiled  # ...but is not memoized
+
+    def test_disk_cache_is_threaded_through(self, tmp_path):
+        registry = SpecRegistry(cache=tmp_path / "cache")
+        entry = registry.register("orders", ORDERS_V1)
+        registry.compiled(entry)
+        assert registry.cache.misses == 1
+        # A fresh registry (new process, same cache dir) hits the disk.
+        other = SpecRegistry(cache=tmp_path / "cache")
+        other_entry = other.register("orders", ORDERS_V1)
+        other.compiled(other_entry)
+        assert other.cache.hits == 1
+
+
+class TestHotReload:
+    def _write(self, path, text, mtime):
+        path.write_text(text)
+        os.utime(path, (mtime, mtime))
+
+    def test_directory_preload(self, tmp_path):
+        self._write(tmp_path / "orders.workflow", ORDERS_V1, 100.0)
+        self._write(tmp_path / "claims.spec",
+                    "goal: submit * review\n", 100.0)
+        (tmp_path / "notes.txt").write_text("not a spec")
+        registry = SpecRegistry(specs_dir=tmp_path)
+        assert registry.names() == ["claims", "orders"]
+
+    def test_unparseable_file_is_skipped_at_startup(self, tmp_path):
+        self._write(tmp_path / "orders.workflow", ORDERS_V1, 100.0)
+        self._write(tmp_path / "broken.workflow", "goal: ((((\n", 100.0)
+        registry = SpecRegistry(specs_dir=tmp_path)
+        assert registry.names() == ["orders"]
+
+    def test_mtime_change_reloads(self, tmp_path):
+        path = tmp_path / "orders.workflow"
+        self._write(path, ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=tmp_path)
+        assert registry.get("orders").version == 1
+        self._write(path, ORDERS_V2, 200.0)
+        reloaded = registry.get("orders")
+        assert reloaded.version == 2
+        assert "stock" in str(reloaded.spec.constraints[0])
+
+    def test_unchanged_mtime_does_not_reload(self, tmp_path):
+        path = tmp_path / "orders.workflow"
+        self._write(path, ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=tmp_path)
+        entry = registry.get("orders")
+        # Rewrite content but keep the mtime: the stat check must not fire.
+        self._write(path, ORDERS_V2, 100.0)
+        assert registry.get("orders") is entry
+
+    def test_file_appearing_after_startup_is_found(self, tmp_path):
+        registry = SpecRegistry(specs_dir=tmp_path)
+        with pytest.raises(UnknownSpecError):
+            registry.get("orders")
+        self._write(tmp_path / "orders.workflow", ORDERS_V1, 100.0)
+        assert registry.get("orders").version == 1
+
+    def test_vanished_file_keeps_serving_last_good_parse(self, tmp_path):
+        path = tmp_path / "orders.workflow"
+        self._write(path, ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=tmp_path)
+        entry = registry.get("orders")
+        path.unlink()
+        assert registry.get("orders") is entry
+
+    def test_mid_edit_garbage_keeps_serving_last_good_parse(self, tmp_path):
+        path = tmp_path / "orders.workflow"
+        self._write(path, ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=tmp_path)
+        entry = registry.get("orders")
+        self._write(path, "goal: ((((\n", 200.0)
+        assert registry.get("orders") is entry
+
+
+class TestInline:
+    def test_identical_text_resolves_to_identical_entry(self):
+        registry = SpecRegistry()
+        a = registry.resolve_inline("goal: a * b\n")
+        b = registry.resolve_inline("goal: a * b\n")
+        assert a is b
+        assert a.name.startswith("inline:")
+
+    def test_different_text_gets_a_different_key(self):
+        registry = SpecRegistry()
+        a = registry.resolve_inline("goal: a * b\n")
+        b = registry.resolve_inline("goal: b * a\n")
+        assert a.key != b.key
+
+    def test_inline_memo_is_bounded(self):
+        from repro.service import registry as registry_module
+
+        registry = SpecRegistry()
+        for i in range(registry_module._INLINE_MEMO + 10):
+            registry.resolve_inline(f"goal: a{i} * b{i}\n")
+        assert len(registry._inline) == registry_module._INLINE_MEMO

@@ -1,0 +1,283 @@
+"""End-to-end tests of the HTTP daemon via the blocking client.
+
+Each test class gets one service on an ephemeral port, running on a
+background thread (the :func:`~repro.service.server.serve_in_thread`
+harness the benchmarks and examples use too).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.verify import verify_property
+from repro.service import ServiceClientError, serve_in_thread
+from repro.spec import parse_specification
+
+ORDERS = """
+goal: receive * (credit | stock) * approve * archive
+constraint: precedes(credit, approve)
+property credit_first: precedes(credit, approve)
+property archived: happens(archive)
+property backwards: precedes(stock, credit)
+"""
+
+CLAIMS = """
+goal: submit * (triage + fastpath) * settle
+property settled: happens(settle)
+"""
+
+
+@pytest.fixture(scope="class")
+def service():
+    handle = serve_in_thread(batch_window=0.001)
+    with handle.client() as client:
+        client.register("orders", ORDERS)
+        client.register("claims", CLAIMS)
+    yield handle
+    handle.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        with service.client() as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["specs"] == 2
+        assert health["queue_limit"] > 0
+
+    def test_specs_listing(self, service):
+        with service.client() as client:
+            specs = {s["name"]: s for s in client.specs()}
+        assert specs["orders"]["properties"] == [
+            "credit_first", "archived", "backwards"
+        ]
+        assert specs["claims"]["version"] == 1
+
+    def test_consistency(self, service):
+        with service.client() as client:
+            assert client.consistency(spec="orders") is True
+            assert client.consistency(
+                text="goal: a * b\nconstraint: precedes(b, a)\n"
+            ) is False
+
+    def test_compile_reports_sizes(self, service):
+        with service.client() as client:
+            compiled = client.compile(spec="orders")
+        assert compiled["consistent"] is True
+        assert compiled["source_size"] > 0
+        assert compiled["compiled_size"] >= compiled["source_size"]
+        assert "archive" in compiled["compiled"]
+
+    def test_schedule(self, service):
+        with service.client() as client:
+            out = client.schedule(spec="orders", limit=10)
+        assert out["consistent"] is True
+        assert len(out["schedules"]) == 2
+        for schedule in out["schedules"]:
+            assert schedule[0] == "receive" and schedule[-1] == "archive"
+            assert schedule.index("credit") < schedule.index("approve")
+
+    def test_verify_matches_direct_library_calls(self, service):
+        with service.client() as client:
+            out = client.verify(spec="orders")
+        spec = parse_specification(ORDERS)
+        for (name, prop), result in zip(spec.properties, out["results"]):
+            direct = verify_property(spec.goal, list(spec.constraints), prop,
+                                     rules=spec.rules)
+            assert result["name"] == name
+            assert result["holds"] == direct.holds
+            witness = list(direct.witness) if direct.witness else None
+            assert result["witness"] == witness
+
+    def test_verify_explicit_properties(self, service):
+        with service.client() as client:
+            out = client.verify(spec="orders",
+                                properties=["happens(receive)",
+                                            "never(approve)"])
+        assert [r["holds"] for r in out["results"]] == [True, False]
+
+    def test_verify_inline_text(self, service):
+        with service.client() as client:
+            out = client.verify(text=CLAIMS)
+        assert out["spec"].startswith("inline:")
+        assert out["results"][0]["holds"] is True
+
+    def test_metrics_expositions(self, service):
+        with service.client() as client:
+            client.verify(spec="claims")
+            text = client.metrics()
+            data = client.metrics(format="json")
+        assert "# TYPE service_verify_batches counter" in text
+        assert "service_http_verify_requests" in text
+        assert data["counters"]["service.verify.batches"] >= 1
+        assert "service.verify.batch_size" in data["histograms"]
+
+
+class TestErrorMapping:
+    def test_unknown_spec_is_404(self, service):
+        with service.client() as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.verify(spec="nope")
+        assert excinfo.value.status == 404
+        assert "unknown specification" in str(excinfo.value)
+
+    def test_unknown_path_is_404_and_bad_method_405(self, service):
+        with service.client() as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request("GET", "/bogus")
+            assert excinfo.value.status == 404
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request("GET", "/verify")
+            assert excinfo.value.status == 405
+
+    def test_malformed_json_is_400(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/verify", body=b"{ nope",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_parse_error_in_spec_text_is_400(self, service):
+        with service.client() as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.verify(text="goal: ((((\n")
+        assert excinfo.value.status == 400
+
+    def test_missing_target_is_400(self, service):
+        with service.client() as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request("POST", "/verify", {})
+        assert excinfo.value.status == 400
+
+
+class TestBatchingOverHttp:
+    def test_concurrent_identical_requests_coalesce(self, service):
+        baseline = service.service.batcher.stats.verified
+        results: list[dict] = []
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                with service.client() as client:
+                    results.append(client.verify(spec="orders"))
+            except BaseException as exc:  # pragma: no cover - fail the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        first = results[0]["results"]
+        for other in results[1:]:
+            assert other["results"] == first
+        # Dedup did real work: far fewer verifications than 8 clients x 3
+        # properties (some batches may split across windows, so don't
+        # demand the theoretical minimum of 3).
+        verified = service.service.batcher.stats.verified - baseline
+        assert verified <= 12
+
+
+class TestHotReloadOverHttp:
+    def test_reregistration_changes_verdicts_and_version(self, service):
+        with service.client() as client:
+            v1 = client.register("flipflop",
+                                 "goal: a * b\nproperty p: precedes(a, b)\n")
+            before = client.verify(spec="flipflop")
+            v2 = client.register("flipflop",
+                                 "goal: b * a\nproperty p: precedes(a, b)\n")
+            after = client.verify(spec="flipflop")
+        assert (v1["version"], v2["version"]) == (1, 2)
+        assert before["results"][0]["holds"] is True
+        assert after["results"][0]["holds"] is False
+        assert (before["version"], after["version"]) == (1, 2)
+
+
+class TestSpecsDirectory:
+    def test_specs_dir_preloads_and_hot_reloads(self, tmp_path):
+        import os
+
+        path = tmp_path / "orders.workflow"
+        path.write_text(ORDERS)
+        os.utime(path, (100.0, 100.0))
+        handle = serve_in_thread(specs_dir=tmp_path, batch_window=0.001)
+        try:
+            with handle.client() as client:
+                assert [s["name"] for s in client.specs()] == ["orders"]
+                assert client.verify(spec="orders")["version"] == 1
+                path.write_text(ORDERS.replace(
+                    "precedes(credit, approve)", "precedes(stock, approve)", 1
+                ))
+                os.utime(path, (200.0, 200.0))
+                assert client.verify(spec="orders")["version"] == 2
+        finally:
+            handle.stop()
+
+
+class TestGracefulShutdown:
+    def test_draining_stop_answers_all_accepted_requests(self):
+        handle = serve_in_thread(batch_window=0.05)
+        with handle.client() as setup:
+            setup.register("orders", ORDERS)
+        results: list[dict] = []
+        errors: list[BaseException] = []
+        started = threading.Barrier(9)
+
+        def worker():
+            client = handle.client()
+            try:
+                started.wait()
+                results.append(client.verify(spec="orders"))
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        started.wait()  # all 8 requests in flight (or about to be written)
+        # Let the daemon accept work into the batcher queue (the 50ms
+        # window parks it there) so the stop drains real requests.
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while (handle.service.batcher.stats.accepted == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.001)
+        handle.stop(drain=True)
+        for thread in threads:
+            thread.join()
+        # Every request either completed with a verdict or was refused
+        # up front with 503 (drain began before it was accepted) / a
+        # connection error (drain began before its socket was accepted)
+        # — never accepted-then-dropped, never a hung thread.
+        for error in errors:
+            assert isinstance(error, (ServiceClientError, OSError)), error
+            if isinstance(error, ServiceClientError):
+                assert error.status == 503
+        for out in results:
+            assert [r["holds"] for r in out["results"]] == [True, True, False]
+        # The accepted-then-drained path really ran: at least one request
+        # was answered through the shutdown.
+        assert results
+
+    def test_health_reports_draining(self):
+        handle = serve_in_thread(batch_window=0.001)
+        try:
+            with handle.client() as client:
+                assert client.healthz()["status"] == "ok"
+        finally:
+            handle.stop()
+        assert handle.service._shutting_down is True
