@@ -153,6 +153,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="serve without a persistent compile cache")
 
+    cluster = sub.add_parser(
+        "cluster", help="run the sharded verification cluster "
+                        "(router + supervised workers)"
+    )
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="router bind address (default: 127.0.0.1)")
+    cluster.add_argument("--port", type=int, default=8745,
+                         help="router bind port, 0 for ephemeral (default: 8745)")
+    cluster.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker daemons to supervise (default: 2)")
+    cluster.add_argument("--replicas", type=int, default=2, metavar="K",
+                         help="replicas per spec key on the hash ring "
+                              "(default: 2)")
+    cluster.add_argument("--specs-dir", metavar="DIR", default=None,
+                         help="directory of *.workflow/*.spec files the router "
+                              "registers by stem and hot-reloads on change")
+    cluster.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="verification processes per worker (default: 1)")
+    cluster.add_argument("--hedge-delay", type=float, default=None,
+                         metavar="SECONDS",
+                         help="start a second replica if the first has not "
+                              "answered within this delay (default: off)")
+    cluster.add_argument("--capacity", type=float, default=None, metavar="COST",
+                         help="total in-flight admission capacity; enables "
+                              "per-tenant quotas (default: off)")
+    cluster.add_argument("--tenant-share", type=float, default=1.0,
+                         metavar="COST",
+                         help="guaranteed in-flight cost per tenant when "
+                              "--capacity is set (default: 1)")
+    cluster.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="compile cache directory shared by router and "
+                              "workers (default: $REPRO_CACHE_DIR if set)")
+    cluster.add_argument("--no-cache", action="store_true",
+                         help="run without a persistent compile cache")
+
     trace = sub.add_parser("trace", help="inspect and replay recorded run traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
 
@@ -427,6 +462,74 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_cluster(args, out) -> int:
+    import asyncio
+    import signal
+
+    from .cluster.quotas import AdmissionController
+    from .cluster.router import ClusterRouter
+    from .cluster.supervisor import WorkerSupervisor
+    from .cluster.worker import ProcessWorker
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 1
+    cache = _cache_from_args(args)
+    worker_args = ["--jobs", str(args.jobs)]
+    cache_dir = getattr(cache, "directory", None)
+    if cache_dir is not None:
+        worker_args += ["--cache-dir", str(cache_dir)]
+    handles = [
+        ProcessWorker(f"w{i}", extra_args=tuple(worker_args))
+        for i in range(args.workers)
+    ]
+    supervisor = WorkerSupervisor(handles)
+    admission = None
+    if args.capacity is not None:
+        admission = AdmissionController(
+            args.capacity, default_share=args.tenant_share
+        )
+    router = ClusterRouter(
+        supervisor,
+        specs_dir=args.specs_dir,
+        cache=cache,
+        replicas=args.replicas,
+        hedge_delay=args.hedge_delay,
+        admission=admission,
+    )
+
+    async def run() -> None:
+        host, port = await router.start(args.host, args.port)
+        print(
+            f"cluster routing on http://{host}:{port} "
+            f"({args.workers} workers, {args.replicas} replicas/key)",
+            file=out, flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = loop.create_task(router.serve_forever())
+
+        def request_shutdown() -> None:
+            stop.cancel()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        try:
+            await stop
+        finally:
+            print("draining...", file=out, flush=True)
+            await router.shutdown(drain=True)
+            print("shutdown complete", file=out, flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # signal handler unavailable (e.g. Windows)
+        pass
+    return 0
+
+
 def _cmd_dot(spec: Specification, out, cache=None) -> int:
     from .graph.dot import goal_to_dot
 
@@ -465,6 +568,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_trace(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "cluster":
+            return _cmd_cluster(args, out)
         spec = load_specification(args.spec)
         cache = _cache_from_args(args)
         if args.command == "check":

@@ -1,0 +1,128 @@
+"""Request-level failover across a key's replica set.
+
+Corollary 3.5 gives every replica the same answer: a verification
+request is a pure function of the spec text, so re-sending it to the
+next replica is always safe and always bit-identical. The router
+therefore treats :class:`~repro.cluster.worker.WorkerUnavailableError`
+— the transport-level "never got an answer" failure — as a signal to
+walk the replica list, bounded by a per-request retry budget. Anything
+else (an HTTP error status, a malformed spec) is the *answer*, not a
+transport failure, and propagates immediately.
+
+Two modes:
+
+* **sequential** (default): try replicas in placement order; first
+  answer wins. Total attempts ≤ ``min(budget, len(replicas))``.
+* **hedged** (``hedge_delay=t``): start the primary, and if it has not
+  answered within ``t`` seconds, start the next replica too — first
+  answer wins, stragglers are cancelled. Tail-latency insurance for
+  read-heavy verification traffic at the cost of occasional duplicated
+  work (harmless: the duplicate hits a warm memo).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import ReproError
+from .worker import WorkerUnavailableError
+
+__all__ = ["AllReplicasFailedError", "call_with_failover"]
+
+
+class AllReplicasFailedError(ReproError):
+    """Every replica in the budget failed at the transport level."""
+
+    def __init__(self, replicas, errors):
+        self.replicas = tuple(replicas)
+        self.errors = tuple(errors)
+        detail = "; ".join(str(e) for e in self.errors) or "no replicas"
+        super().__init__(
+            f"all {len(self.replicas)} replica(s) failed: {detail}"
+        )
+
+
+async def call_with_failover(replicas, call, *, budget: int | None = None,
+                             hedge_delay: float | None = None,
+                             on_failure=None):
+    """Run ``await call(worker_id)`` against replicas until one answers.
+
+    Returns ``(result, worker_id)`` identifying which replica answered.
+    ``budget`` caps total attempts (default: one per replica);
+    ``on_failure(worker_id, exc)`` observes each transport failure (the
+    router uses it to tell the supervisor a worker looks dead). Raises
+    :class:`AllReplicasFailedError` when the budget is exhausted, and
+    re-raises non-transport exceptions immediately.
+    """
+    targets = list(replicas)
+    if budget is not None:
+        targets = targets[:max(budget, 0)]
+    if not targets:
+        raise AllReplicasFailedError((), ())
+    if hedge_delay is None or len(targets) == 1:
+        return await _sequential(targets, call, on_failure)
+    return await _hedged(targets, call, hedge_delay, on_failure)
+
+
+async def _sequential(targets, call, on_failure):
+    errors = []
+    for worker_id in targets:
+        try:
+            return await call(worker_id), worker_id
+        except WorkerUnavailableError as exc:
+            errors.append(exc)
+            if on_failure is not None:
+                on_failure(worker_id, exc)
+    raise AllReplicasFailedError(targets, errors)
+
+
+async def _hedged(targets, call, hedge_delay, on_failure):
+    loop = asyncio.get_running_loop()
+    owner: dict[asyncio.Task, str] = {}
+    pending: set[asyncio.Task] = set()
+    errors = []
+    next_idx = 0
+
+    def launch():
+        nonlocal next_idx
+        task = loop.create_task(call(targets[next_idx]))
+        owner[task] = targets[next_idx]
+        pending.add(task)
+        next_idx += 1
+
+    async def cancel_rest():
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    launch()
+    try:
+        while pending:
+            # While unlaunched replicas remain, wait only the hedge
+            # window; afterwards wait for whatever is still in flight.
+            timeout = hedge_delay if next_idx < len(targets) else None
+            done, pending = await asyncio.wait(
+                pending, timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not done:
+                launch()  # primary is slow: hedge to the next replica
+                continue
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    await cancel_rest()
+                    return task.result(), owner[task]
+                if isinstance(exc, WorkerUnavailableError):
+                    errors.append(exc)
+                    if on_failure is not None:
+                        on_failure(owner[task], exc)
+                    if next_idx < len(targets):
+                        launch()
+                else:
+                    await cancel_rest()
+                    raise exc
+        raise AllReplicasFailedError(targets, errors)
+    except asyncio.CancelledError:
+        await cancel_rest()
+        raise

@@ -1,0 +1,130 @@
+"""Consistent-hash placement of spec keys onto workers.
+
+Corollary 3.5 makes verification embarrassingly shardable *by
+specification*: each ``G ∧ C ∧ ¬Φ`` question is independent work, and
+all the state worth co-locating (the registry's compiled memo, the
+worker's warm interned DAGs, the on-disk compile cache entries) is keyed
+by the spec. The :class:`HashRing` therefore hashes the registry's batch
+key — ``name@version`` or ``inline:<sha16>`` — onto a ring of virtual
+nodes, and reads off the first K *distinct* workers clockwise as the
+key's replica set:
+
+* the same key always lands on the same replicas (cache locality:
+  repeated requests for one spec hit a worker whose memo is warm);
+* adding or removing one worker moves only ``~1/N`` of the keys
+  (restart churn does not reshuffle the whole fleet's caches);
+* K replicas give the router somewhere to fail over to when the
+  primary dies mid-batch.
+
+Everything is derived from :func:`hashlib.sha256`, so placement is
+deterministic across processes, Python versions, and ``PYTHONHASHSEED``
+— the chaos tests rely on computing a key's primary from outside the
+router process.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per worker: enough to spread a handful of workers
+#: evenly around the ring without making lookups measurable.
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit ring coordinate for ``token``."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes and K-replica reads.
+
+    >>> ring = HashRing(["w0", "w1", "w2"], replicas=2)
+    >>> ring.replicas_for("orders@1") == ring.replicas_for("orders@1")
+    True
+    >>> len(ring.replicas_for("orders@1"))
+    2
+    """
+
+    def __init__(self, workers=(), replicas: int = 2,
+                 vnodes: int = DEFAULT_VNODES):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.replicas = replicas
+        self.vnodes = vnodes
+        self._workers: set[str] = set()
+        self._points: list[int] = []       # sorted ring coordinates
+        self._owner: dict[int, str] = {}   # coordinate -> worker id
+        for worker_id in workers:
+            self.add(worker_id)
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, worker_id: str) -> None:
+        """Add ``worker_id``'s virtual nodes to the ring (idempotent)."""
+        if worker_id in self._workers:
+            return
+        self._workers.add(worker_id)
+        for vnode in range(self.vnodes):
+            point = _point(f"{worker_id}#{vnode}")
+            # sha256 collisions across distinct tokens are not a real
+            # concern; first-registered keeps the point deterministically.
+            if point not in self._owner:
+                self._owner[point] = worker_id
+                bisect.insort(self._points, point)
+
+    def remove(self, worker_id: str) -> None:
+        """Remove ``worker_id`` from the ring (idempotent)."""
+        if worker_id not in self._workers:
+            return
+        self._workers.discard(worker_id)
+        self._points = [p for p in self._points
+                        if self._owner.get(p) != worker_id]
+        self._owner = {p: w for p, w in self._owner.items() if w != worker_id}
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    # -- lookup ---------------------------------------------------------------
+
+    def replicas_for(self, key: str) -> tuple[str, ...]:
+        """The key's replica set: up to K distinct workers, primary first.
+
+        Fewer than K workers on the ring means every worker is a replica
+        (degraded redundancy, still deterministic order).
+        """
+        if not self._workers:
+            return ()
+        want = min(self.replicas, len(self._workers))
+        start = bisect.bisect_left(self._points, _point(key))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owner[self._points[(start + offset) % len(self._points)]]
+            if owner not in seen:
+                seen.add(owner)
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return tuple(chosen)
+
+    def primary_for(self, key: str) -> str:
+        """The first replica (raises on an empty ring)."""
+        replicas = self.replicas_for(key)
+        if not replicas:
+            raise ValueError("hash ring has no workers")
+        return replicas[0]

@@ -1,0 +1,117 @@
+"""Per-tenant admission control for the cluster router.
+
+The router multiplexes tenants onto one worker fleet; without admission
+control, one tenant's burst starves everyone (the workers' batchers shed
+by arrival order, which is fair per-request but not per-tenant). The
+:class:`AdmissionController` enforces *work-conserving shares*:
+
+* each tenant has a guaranteed share of in-flight cost (its ``share``,
+  or ``default_share``); a request is **always admitted while its tenant
+  is under guarantee** — no amount of bursting by others can starve it;
+* beyond its guarantee a tenant may *burst* into whatever total capacity
+  is free — idle capacity is never wasted on a quota technicality;
+* when capacity is exhausted, the burster is shed (HTTP 429), not the
+  tenant running under guarantee — fair shedding by construction.
+
+The admit rule is ``usage(t) + cost <= share(t)`` **or**
+``total + cost <= capacity``. The first disjunct means total in-flight
+cost can overshoot ``capacity``, but only up to ``sum(shares)`` — a
+bound the operator chose explicitly. Keeping guarantees unconditional is
+what makes them guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import ReproError
+
+__all__ = ["TenantQuotaExceededError", "AdmissionController"]
+
+#: Namespace used for requests that carry no ``X-Repro-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+
+class TenantQuotaExceededError(ReproError):
+    """The tenant is over its share and the cluster is at capacity."""
+
+    def __init__(self, tenant: str, usage: float, share: float):
+        self.tenant = tenant
+        self.usage = usage
+        self.share = share
+        super().__init__(
+            f"tenant {tenant!r} over share ({usage:g}/{share:g}) "
+            f"and cluster at capacity"
+        )
+
+
+class AdmissionController:
+    """Work-conserving per-tenant admission over a shared capacity.
+
+    ``capacity`` is total in-flight cost (a /verify request costs its
+    property count, everything else costs 1 — same unit the workers'
+    batchers meter). ``shares`` maps tenant → guaranteed cost;
+    ``default_share`` covers unlisted tenants.
+    """
+
+    def __init__(self, capacity: float, *, default_share: float = 1.0,
+                 shares: dict[str, float] | None = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if default_share < 0:
+            raise ValueError("default_share must be >= 0")
+        self.capacity = capacity
+        self.default_share = default_share
+        self.shares = dict(shares or {})
+        for tenant, share in self.shares.items():
+            if share < 0:
+                raise ValueError(f"share for {tenant!r} must be >= 0")
+        self._usage: dict[str, float] = defaultdict(float)
+        self._total = 0.0
+        self.admitted = 0
+        self.shed = 0
+
+    def share_of(self, tenant: str) -> float:
+        return self.shares.get(tenant, self.default_share)
+
+    def admit(self, tenant: str | None, cost: float = 1.0) -> None:
+        """Admit ``cost`` units for ``tenant`` or raise
+        :class:`TenantQuotaExceededError`. Pair with :meth:`release`."""
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        tenant = tenant or DEFAULT_TENANT
+        usage = self._usage[tenant]
+        share = self.share_of(tenant)
+        under_guarantee = usage + cost <= share
+        fits_capacity = self._total + cost <= self.capacity
+        if not (under_guarantee or fits_capacity):
+            self.shed += 1
+            raise TenantQuotaExceededError(tenant, usage, share)
+        self._usage[tenant] = usage + cost
+        self._total += cost
+        self.admitted += 1
+
+    def release(self, tenant: str | None, cost: float = 1.0) -> None:
+        tenant = tenant or DEFAULT_TENANT
+        self._usage[tenant] = max(0.0, self._usage[tenant] - cost)
+        self._total = max(0.0, self._total - cost)
+
+    @property
+    def total_in_flight(self) -> float:
+        return self._total
+
+    def usage_of(self, tenant: str) -> float:
+        return self._usage.get(tenant or DEFAULT_TENANT, 0.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "in_flight": self._total,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "tenants": {
+                tenant: {"usage": usage, "share": self.share_of(tenant)}
+                for tenant, usage in sorted(self._usage.items())
+                if usage > 0
+            },
+        }

@@ -1,0 +1,437 @@
+"""The cluster front door: consistent-hash routing over supervised workers.
+
+:class:`ClusterRouter` speaks the *exact* wire protocol of the
+single-process daemon (it shares :class:`~repro.service.http.
+HttpServerBase` with it), so any client of ``repro serve`` talks to a
+fleet unchanged. Behind the front door:
+
+* the router owns the :class:`~repro.service.registry.SpecRegistry`
+  (registration, hot-reload, tenant namespaces) and forwards the
+  *resolved spec text* inline to workers — workers are stateless with
+  respect to the catalog, so there is no spec-sync protocol to get
+  wrong, while consistent hashing still keeps each worker's inline memo
+  and the shared on-disk compile cache warm for its keys;
+* a :class:`~repro.cluster.placement.HashRing` maps the batch key
+  (``name@version`` / ``inline:<sha16>``) to K replicas; requests walk
+  the replica list via :func:`~repro.cluster.failover.call_with_failover`
+  (verification is pure — Corollary 3.5 — so a retry on the next replica
+  is safe and bit-identical);
+* a :class:`~repro.cluster.supervisor.WorkerSupervisor` keeps workers
+  alive and feeds ring membership through its up/down callbacks;
+* an optional :class:`~repro.cluster.quotas.AdmissionController` meters
+  per-tenant in-flight cost (429 on fair shed);
+* when *every* replica for a key is down, the router degrades rather
+  than drops: the request runs on a bounded in-process fallback service
+  (one sequential verifier sharing the router's registry and cache) and
+  the response is tagged ``"degraded": true``. Slow beats unavailable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from ..errors import ReproError
+from ..obs.config import Observability
+from ..obs.metrics import MetricsRegistry
+from ..service.batcher import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from ..service.http import HttpError, HttpServerBase, json_body
+from ..service.registry import (
+    SpecEntry,
+    SpecRegistry,
+    TENANT_SEP,
+    UnknownSpecError,
+)
+from ..service.server import VerificationService
+from .failover import AllReplicasFailedError, call_with_failover
+from .quotas import AdmissionController, TenantQuotaExceededError
+from .supervisor import WorkerSupervisor
+from .worker import WorkerError
+from .placement import HashRing
+
+__all__ = ["ClusterRouter", "ClusterHandle", "cluster_in_thread"]
+
+#: Header carrying the tenant namespace (absent → the default tenant).
+TENANT_HEADER = "x-repro-tenant"
+
+_FORWARDED_PATHS = ("/compile", "/consistency", "/verify", "/schedule")
+
+
+class ClusterRouter(HttpServerBase):
+    """HTTP front door routing spec keys onto a supervised worker fleet."""
+
+    metrics_prefix = "cluster"
+
+    def __init__(
+        self,
+        supervisor: WorkerSupervisor,
+        *,
+        registry: SpecRegistry | None = None,
+        specs_dir=None,
+        cache=None,
+        replicas: int = 2,
+        retry_budget: int | None = None,
+        hedge_delay: float | None = None,
+        admission: AdmissionController | None = None,
+        request_timeout: float = 30.0,
+        obs: Observability | None = None,
+    ):
+        super().__init__(obs=obs)
+        self.supervisor = supervisor
+        self.registry = registry or SpecRegistry(specs_dir=specs_dir,
+                                                cache=cache)
+        self.ring = HashRing(replicas=replicas)
+        self.retry_budget = retry_budget
+        self.hedge_delay = hedge_delay
+        self.admission = admission
+        self.request_timeout = request_timeout
+        # The degraded-mode fallback: a bounded in-process service sharing
+        # the router's registry (and therefore its compile memo and disk
+        # cache). Its HTTP server never starts; only its handler is used.
+        self._fallback = VerificationService(
+            registry=self.registry, jobs=1, queue_limit=16, obs=self.obs
+        )
+        # Ring membership follows supervisor health transitions.
+        supervisor.on_up = self._worker_up
+        supervisor.on_down = self._worker_down
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Start workers, supervision, the fallback, and the front door."""
+        await self.supervisor.start()
+        self.supervisor.start_loop()
+        self._fallback.batcher.start()
+        return await super().start(host, port)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        await self._stop_accepting()
+        if drain:
+            await self._drain_connections()
+        else:
+            self._cancel_connections()
+        await self.supervisor.stop()
+        await self._fallback.batcher.aclose()
+        self._fallback.executor.shutdown(wait=True)
+
+    # -- ring membership ------------------------------------------------------
+
+    def _worker_up(self, worker_id: str) -> None:
+        self.ring.add(worker_id)
+        self._gauge_ring()
+
+    def _worker_down(self, worker_id: str) -> None:
+        self.ring.remove(worker_id)
+        self._gauge_ring()
+
+    def _gauge_ring(self) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.set_gauge("cluster.router.ring_size",
+                                       len(self.ring))
+
+    # -- routing --------------------------------------------------------------
+
+    def _error_status(self, exc: ReproError) -> int:
+        if isinstance(exc, (TenantQuotaExceededError, QueueFullError)):
+            return 429
+        if isinstance(exc, ServiceDrainingError):
+            return 503
+        if isinstance(exc, DeadlineExceededError):
+            return 504
+        if isinstance(exc, UnknownSpecError):
+            return 404
+        if isinstance(exc, (AllReplicasFailedError, WorkerError)):
+            return 502
+        return super()._error_status(exc)
+
+    async def _handle(self, method, path, query, headers, body):
+        tenant = headers.get(TENANT_HEADER) or None
+        if tenant is not None and TENANT_SEP in tenant:
+            raise HttpError(400, f"tenant may not contain {TENANT_SEP!r}")
+        catalog = (self.registry.namespaced(tenant)
+                   if tenant is not None else self.registry)
+
+        if path == "/healthz" and method == "GET":
+            healthy = self.supervisor.healthy_workers()
+            return 200, {
+                "status": "draining" if self._shutting_down else "ok",
+                "role": "router",
+                "workers": len(self.supervisor.workers),
+                "healthy_workers": len(healthy),
+                "ring": len(self.ring),
+                "specs": len(self.registry),
+            }, "application/json"
+        if path == "/metrics" and method == "GET":
+            registry = self.obs.metrics or MetricsRegistry()
+            if query.get("format") == "json":
+                return 200, registry.to_dict(), "application/json"
+            return 200, registry.render_prometheus(), \
+                "text/plain; version=0.0.4"
+        if path == "/cluster/status" and method == "GET":
+            return 200, {
+                "workers": self.supervisor.status(),
+                "ring": list(self.ring.workers),
+                "replicas": self.ring.replicas,
+                "admission": (self.admission.snapshot()
+                              if self.admission is not None else None),
+            }, "application/json"
+        if path == "/specs" and method == "GET":
+            return 200, {"specs": self._list_specs(tenant, catalog)}, \
+                "application/json"
+        if path == "/specs" and method == "POST":
+            data = json_body(body)
+            name, text = data.get("name"), data.get("text")
+            if not isinstance(name, str) or not isinstance(text, str):
+                raise HttpError(400,
+                                "POST /specs needs string 'name' and 'text'")
+            entry = catalog.register(name, text)
+            public = (catalog.public_name(entry)
+                      if tenant is not None else entry.name)
+            return 200, {"name": public, "version": entry.version}, \
+                "application/json"
+
+        if method != "POST" or path not in _FORWARDED_PATHS:
+            known = ("/healthz", "/metrics", "/specs", "/cluster/status",
+                     *_FORWARDED_PATHS)
+            if path in known:
+                raise HttpError(405, f"method {method} not allowed on {path}")
+            raise HttpError(404, f"no such endpoint {path}")
+
+        data = json_body(body)
+        entry = self._resolve_entry(catalog, data)
+        public = (catalog.public_name(entry)
+                  if tenant is not None else entry.name)
+        cost = self._cost(path, entry, data)
+        if self.admission is not None:
+            self.admission.admit(tenant, cost)
+        try:
+            return await self._route_forward(path, entry, public, data)
+        finally:
+            if self.admission is not None:
+                self.admission.release(tenant, cost)
+
+    def _list_specs(self, tenant, catalog) -> list[dict]:
+        names = (catalog.names() if tenant is not None
+                 else [n for n in self.registry.names()
+                       if TENANT_SEP not in n])
+        specs = []
+        for name in names:
+            try:
+                entry = catalog.get(name)
+            except UnknownSpecError:
+                continue  # raced an unregister
+            specs.append({
+                "name": name,
+                "version": entry.version,
+                "properties": [p for p, _ in entry.spec.properties],
+            })
+        return specs
+
+    def _resolve_entry(self, catalog, data) -> SpecEntry:
+        name, text = data.get("spec"), data.get("text")
+        if (name is None) == (text is None):
+            raise HttpError(400, "provide exactly one of 'spec' or 'text'")
+        if name is not None:
+            if not isinstance(name, str):
+                raise HttpError(400, "'spec' must be a string")
+            return catalog.get(name)
+        if not isinstance(text, str):
+            raise HttpError(400, "'text' must be a string")
+        return catalog.resolve_inline(text)
+
+    @staticmethod
+    def _cost(path: str, entry: SpecEntry, data) -> int:
+        """Admission cost: a verify costs its property count, the rest 1 —
+        the same unit the workers' batchers meter queue depth in."""
+        if path != "/verify":
+            return 1
+        requested = data.get("properties")
+        if isinstance(requested, list):
+            return max(1, len(requested))
+        return max(1, len(entry.spec.properties))
+
+    # -- forwarding -----------------------------------------------------------
+
+    async def _route_forward(self, path, entry: SpecEntry, public: str, data):
+        # Workers never see the router's catalog: ship the resolved text.
+        forward = dict(data)
+        forward.pop("spec", None)
+        forward["text"] = entry.text
+        replicas = self.ring.replicas_for(entry.key)
+        timeout = self.request_timeout
+        deadline = data.get("timeout")
+        if isinstance(deadline, (int, float)):
+            timeout = max(timeout, float(deadline) + 10.0)
+
+        async def send(worker_id: str):
+            handle = self.supervisor.state_of(worker_id).handle
+            return await handle.request("POST", path, forward, timeout=timeout)
+
+        try:
+            (status, payload), worker_id = await call_with_failover(
+                replicas, send,
+                budget=self.retry_budget,
+                hedge_delay=self.hedge_delay,
+                on_failure=self._note_worker_failure,
+            )
+        except AllReplicasFailedError:
+            self._metric("cluster.router.degraded")
+            return await self._degraded(path, forward, entry, public)
+        self._metric("cluster.router.forwarded")
+        if isinstance(payload, dict):
+            payload = self._rebrand(payload, entry, public)
+            payload["worker"] = worker_id
+        return status, payload, "application/json"
+
+    async def _degraded(self, path, forward, entry: SpecEntry, public: str):
+        """All replicas down: answer in-process, tagged, rather than drop."""
+        status, payload, content_type = await self._fallback._handle(
+            "POST", path, {}, {}, _encode(forward)
+        )
+        if isinstance(payload, dict):
+            payload = self._rebrand(payload, entry, public)
+            payload["degraded"] = True
+        return status, payload, content_type
+
+    def _rebrand(self, payload: dict, entry: SpecEntry, public: str) -> dict:
+        """Workers answered for the inline-shipped text; restore the
+        client-facing name and registry version."""
+        payload = dict(payload)
+        if "spec" in payload:
+            payload["spec"] = public
+        if "version" in payload:
+            payload["version"] = entry.version
+        return payload
+
+    def _note_worker_failure(self, worker_id: str, exc) -> None:
+        self._metric("cluster.router.failovers")
+        self.supervisor.report_failure(worker_id)
+
+    def _metric(self, name: str) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.inc(name)
+
+
+def _encode(data: dict) -> bytes:
+    import json
+
+    return json.dumps(data).encode("utf-8")
+
+
+# -- the synchronous harness ---------------------------------------------------
+
+
+class ClusterHandle:
+    """A running cluster (router + workers) on a background thread."""
+
+    def __init__(self, router: ClusterRouter, loop, thread):
+        self.router = router
+        self._loop = loop
+        self._thread = thread
+        self.host, self.port = router.address
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def client(self, timeout: float = 30.0, **kwargs):
+        from ..service.client import ServiceClient
+
+        return ServiceClient(self.host, self.port, timeout=timeout, **kwargs)
+
+    def run(self, coro, timeout: float = 60.0):
+        """Run ``coro`` on the cluster's event loop (chaos-test seam)."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL one worker from outside the loop (the chaos lever)."""
+        self.router.supervisor.state_of(worker_id).handle.kill()
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.shutdown(drain=drain), self._loop
+        )
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def cluster_in_thread(
+    workers: int = 2,
+    replicas: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    specs_dir=None,
+    cache_dir=None,
+    worker_jobs: int = 1,
+    worker_args: tuple[str, ...] = (),
+    supervisor_kwargs: dict | None = None,
+    **router_kwargs,
+) -> ClusterHandle:
+    """Start a full cluster — N subprocess workers, supervisor, router —
+    on a daemon thread; returns a :class:`ClusterHandle`.
+
+    ``cache_dir`` is shared by every worker and the router's fallback:
+    the content-addressed compile cache is what makes a restarted worker
+    warm. ``worker_args`` appends raw ``repro serve`` flags.
+    """
+    from .worker import ProcessWorker
+
+    extra = ["--jobs", str(worker_jobs)]
+    if cache_dir is not None:
+        extra += ["--cache-dir", str(cache_dir)]
+    extra += list(worker_args)
+
+    handles = [
+        ProcessWorker(f"w{i}", extra_args=tuple(extra))
+        for i in range(workers)
+    ]
+    supervisor = WorkerSupervisor(handles, **(supervisor_kwargs or {}))
+    router = ClusterRouter(
+        supervisor,
+        specs_dir=specs_dir,
+        cache=cache_dir,
+        replicas=replicas,
+        **router_kwargs,
+    )
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(router.start(host, port))
+        except BaseException as exc:
+            failure.append(exc)
+            loop.close()
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-cluster", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return ClusterHandle(router, loop, thread)

@@ -1,0 +1,334 @@
+"""Worker supervision: health checks, backoff restarts, circuit breaking.
+
+The :class:`WorkerSupervisor` owns the cluster's worker handles and keeps
+them alive. Its logic is a single idempotent step — :meth:`check_once` —
+driven by an injectable :class:`~repro.core.resilience.Clock`:
+
+* probe every worker's ``/healthz`` (a dead process short-circuits; a
+  hung one fails the probe timeout);
+* on failure, schedule a restart ``RetryPolicy.delay(n)`` seconds out —
+  exponential backoff with seeded jitter, so a fleet that died together
+  does not restart in lockstep;
+* a worker that keeps dying *quickly* (within ``flap_window`` of its
+  last start) trips a per-worker :class:`CircuitBreaker`: restarts stop
+  (open), one probe restart is allowed after ``breaker_reset`` seconds
+  (half-open), and sustained uptime closes the circuit again. A worker
+  crash-looping on a poisoned spec burns backoff budget, not CPU.
+
+Tests drive :meth:`check_once` directly on a
+:class:`~repro.core.resilience.VirtualClock` with scripted fake workers,
+making every timing branch — backoff growth, flap detection, the
+open → half-open → closed walk — deterministic. Production runs
+:meth:`run` as an asyncio task on the system clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+
+from ..core.resilience import Clock, RetryPolicy, SystemClock
+from ..obs.config import OBS_DISABLED, Observability
+from .worker import WorkerError, WorkerUnavailableError
+
+__all__ = ["CircuitBreaker", "WorkerState", "WorkerSupervisor"]
+
+log = logging.getLogger("repro.cluster.supervisor")
+
+#: Default restart policy: 0.1s, 0.2s, 0.4s, ... capped at 5s, forever.
+DEFAULT_RESTART_POLICY = RetryPolicy(
+    max_attempts=1_000_000, base_delay=0.1, multiplier=2.0,
+    max_delay=5.0, jitter=0.5,
+)
+
+
+class CircuitBreaker:
+    """Three-state breaker guarding one worker's restart loop.
+
+    *closed* — restarts proceed normally. ``failure_threshold``
+    consecutive fast failures (flaps) open it.
+    *open* — restarts are suppressed for ``reset_timeout`` seconds.
+    *half-open* — one probe restart is allowed through; success closes
+    the breaker, failure re-opens it for another full timeout.
+    """
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 30.0,
+                 clock: Clock | None = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock or SystemClock()
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a restart proceed right now? (May transition open→half-open.)"""
+        if self.state == "open":
+            if self.clock.now() - self._opened_at >= self.reset_timeout:
+                self.state = "half_open"
+                return True
+            return False
+        if self.state == "half_open":
+            # One probe at a time: the half-open restart already went out.
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.failure_threshold:
+            self.state = "open"
+            self._opened_at = self.clock.now()
+
+    def snapshot(self) -> dict:
+        return {"state": self.state, "failures": self.failures}
+
+
+class WorkerState:
+    """The supervisor's book-keeping for one worker handle."""
+
+    def __init__(self, handle, breaker: CircuitBreaker):
+        self.handle = handle
+        self.breaker = breaker
+        self.healthy = False
+        self.restarts = 0            # successful restarts (beyond first start)
+        self.failed_restarts = 0
+        self.last_started_at: float | None = None
+        self.next_restart_at: float | None = None
+        self._backoff_attempt = 0
+
+    @property
+    def worker_id(self) -> str:
+        return self.handle.worker_id
+
+    def snapshot(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "healthy": self.healthy,
+            "running": bool(getattr(self.handle, "running", False)),
+            "restarts": self.restarts,
+            "failed_restarts": self.failed_restarts,
+            "next_restart_at": self.next_restart_at,
+            "breaker": self.breaker.snapshot(),
+        }
+
+
+class WorkerSupervisor:
+    """Keeps a set of workers alive; notifies listeners of state changes.
+
+    ``on_up`` / ``on_down`` callbacks (``callable(worker_id)``) let the
+    router keep its hash ring and address table in sync without the
+    supervisor knowing the router exists.
+    """
+
+    def __init__(self, workers, *, clock: Clock | None = None,
+                 health_interval: float = 0.5,
+                 health_timeout: float = 5.0,
+                 restart_policy: RetryPolicy = DEFAULT_RESTART_POLICY,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 30.0,
+                 flap_window: float = 5.0,
+                 seed: int | None = None,
+                 obs: Observability = OBS_DISABLED,
+                 on_up=None, on_down=None):
+        if health_interval <= 0:
+            raise ValueError("health_interval must be positive")
+        self.clock = clock or SystemClock()
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
+        self.restart_policy = restart_policy
+        self.flap_window = flap_window
+        self.obs = obs
+        self.on_up = on_up
+        self.on_down = on_down
+        self._rng = random.Random(seed)
+        self._states: dict[str, WorkerState] = {}
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+        for handle in workers:
+            breaker = CircuitBreaker(breaker_threshold, breaker_reset,
+                                     clock=self.clock)
+            self._states[handle.worker_id] = WorkerState(handle, breaker)
+
+    # -- introspection --------------------------------------------------------
+
+    def state_of(self, worker_id: str) -> WorkerState:
+        return self._states[worker_id]
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._states))
+
+    def healthy_workers(self) -> tuple[str, ...]:
+        return tuple(s.worker_id for s in self._states.values() if s.healthy)
+
+    def status(self) -> list[dict]:
+        return [self._states[w].snapshot() for w in sorted(self._states)]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every worker (failures enter the restart loop, not raise)."""
+        for state in self._states.values():
+            try:
+                await state.handle.start()
+            except WorkerError:
+                log.warning("worker %s failed to start; scheduling restart",
+                            state.worker_id)
+                self._mark_down(state, flap=False)
+                continue
+            state.last_started_at = self.clock.now()
+            self._mark_up(state)
+
+    def start_loop(self) -> None:
+        """Spawn the production health-check loop as an asyncio task."""
+        if self._task is None or self._task.done():
+            self._stopping = False
+            self._task = asyncio.get_running_loop().create_task(self.run())
+
+    async def run(self) -> None:
+        while not self._stopping:
+            await self.check_once()
+            await _async_sleep(self.clock, self.health_interval)
+
+    async def stop(self) -> None:
+        """Stop the loop and terminate every worker."""
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            await asyncio.gather(self._task, return_exceptions=True)
+            self._task = None
+        for state in self._states.values():
+            await state.handle.stop()
+            state.healthy = False
+
+    def report_failure(self, worker_id: str) -> None:
+        """The router saw a transport failure: treat it as a failed probe.
+
+        Idempotent for already-down workers; a fresh failure runs the same
+        flap detection as the health loop, so a worker that dies under
+        traffic trips the breaker just like one that dies idle.
+        """
+        state = self._states.get(worker_id)
+        if state is None or not state.healthy:
+            return
+        uptime = (self.clock.now() - state.last_started_at
+                  if state.last_started_at is not None else None)
+        flap = uptime is not None and uptime < self.flap_window
+        self._mark_down(state, flap=flap)
+
+    # -- the supervision step -------------------------------------------------
+
+    async def check_once(self) -> None:
+        """One idempotent supervision round: probe, detect, restart-if-due."""
+        for state in self._states.values():
+            if state.healthy:
+                await self._probe(state)
+            else:
+                await self._maybe_restart(state)
+
+    async def _probe(self, state: WorkerState) -> None:
+        try:
+            await state.handle.healthz(timeout=self.health_timeout)
+        except WorkerUnavailableError as exc:
+            log.warning("worker %s failed health check: %s",
+                        state.worker_id, exc)
+            uptime = (self.clock.now() - state.last_started_at
+                      if state.last_started_at is not None else None)
+            flap = uptime is not None and uptime < self.flap_window
+            self._mark_down(state, flap=flap)
+            return
+        # Sustained uptime is what closes a half-open breaker: the probe
+        # restart has proven itself past the flap window.
+        if (state.breaker.state != "closed"
+                and state.last_started_at is not None
+                and self.clock.now() - state.last_started_at
+                >= self.flap_window):
+            state.breaker.record_success()
+
+    async def _maybe_restart(self, state: WorkerState) -> None:
+        now = self.clock.now()
+        if state.next_restart_at is not None and now < state.next_restart_at:
+            return
+        if not state.breaker.allow():
+            return
+        try:
+            await state.handle.start()
+        except WorkerError:
+            state.failed_restarts += 1
+            state.breaker.record_failure()
+            self._schedule_restart(state)
+            self._metric("cluster.supervisor.restart_failures")
+            return
+        state.restarts += 1
+        state.last_started_at = self.clock.now()
+        state.next_restart_at = None
+        state._backoff_attempt = 0
+        self._mark_up(state)
+        self._metric("cluster.supervisor.restarts")
+        log.info("worker %s restarted (restart #%d)",
+                 state.worker_id, state.restarts)
+
+    # -- transitions ----------------------------------------------------------
+
+    def _mark_up(self, state: WorkerState) -> None:
+        was_healthy = state.healthy
+        state.healthy = True
+        if not was_healthy and self.on_up is not None:
+            self.on_up(state.worker_id)
+        self._gauge_healthy()
+
+    def _mark_down(self, state: WorkerState, *, flap: bool) -> None:
+        was_healthy = state.healthy
+        state.healthy = False
+        if flap:
+            state.breaker.record_failure()
+        else:
+            # A crash after honest uptime is not flapping: give the worker
+            # a fresh backoff sequence and a clean breaker slate.
+            state.breaker.record_success()
+        self._schedule_restart(state)
+        if was_healthy and self.on_down is not None:
+            self.on_down(state.worker_id)
+        self._metric("cluster.supervisor.worker_down")
+        self._gauge_healthy()
+
+    def _schedule_restart(self, state: WorkerState) -> None:
+        state._backoff_attempt += 1
+        delay = self.restart_policy.delay(state._backoff_attempt, self._rng)
+        state.next_restart_at = self.clock.now() + delay
+
+    # -- metrics --------------------------------------------------------------
+
+    def _metric(self, name: str) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.inc(name)
+
+    def _gauge_healthy(self) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.set_gauge(
+                "cluster.supervisor.healthy_workers",
+                len(self.healthy_workers()),
+            )
+
+
+async def _async_sleep(clock: Clock, seconds: float) -> None:
+    """Sleep on the supervisor's clock inside the event loop.
+
+    A virtual clock (anything with ``advance``) jumps time and yields once
+    so tests run in zero wall-clock; the system clock defers to
+    ``asyncio.sleep`` so the loop stays responsive.
+    """
+    if hasattr(clock, "advance"):
+        clock.sleep(seconds)
+        await asyncio.sleep(0)
+    else:
+        await asyncio.sleep(seconds)

@@ -1,0 +1,264 @@
+"""Worker handles: how the router and supervisor talk to one daemon.
+
+A *worker* is one ``repro serve`` verification daemon. The cluster layer
+manipulates workers through the small :class:`WorkerHandle` duck-type —
+``start``/``stop``/``kill``, an async JSON-over-HTTP ``request``, and a
+``healthz`` probe — so the supervisor and router never care whether the
+daemon is a real subprocess (:class:`ProcessWorker`, production and
+chaos tests) or a scripted fake (deterministic supervisor unit tests).
+
+:class:`ProcessWorker` spawns ``python -m repro serve --port 0`` and
+reads the bound ephemeral port off the daemon's startup line, so N
+workers never race for ports. Restart is just ``start()`` again on the
+same handle: a fresh process, a fresh port — and a warm start, when the
+workers share an on-disk :class:`~repro.core.compiler.CompileCache`
+directory (the resurrected worker re-compiles nothing it ever compiled
+before; that persistent cache is what makes crash/restart cheap).
+
+The async HTTP client here (:func:`http_request`) is one short-lived
+connection per call, written against :mod:`asyncio` streams. Workers are
+local processes; connection setup is microseconds against the NP-hard
+verification work a request carries, and a connection-per-request makes
+"the worker died mid-response" failures crisp (the read fails, the
+router fails over) instead of poisoning a pooled socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import sys
+
+from ..errors import ReproError
+
+__all__ = [
+    "WorkerError",
+    "WorkerUnavailableError",
+    "http_request",
+    "ProcessWorker",
+]
+
+#: How long to wait for a spawned daemon to print its bound address.
+STARTUP_TIMEOUT = 30.0
+
+_SERVING_RE = re.compile(r"serving on http://([^:\s]+):(\d+)")
+
+
+class WorkerError(ReproError):
+    """A worker-management failure (spawn, startup handshake, ...)."""
+
+
+class WorkerUnavailableError(WorkerError):
+    """A request could not reach the worker (dead, refusing, or hung).
+
+    This is the *transport-level* failure the router's failover treats as
+    retryable on another replica — distinct from an HTTP error response,
+    which means the worker is alive and has an opinion.
+    """
+
+    def __init__(self, worker_id: str, reason: str):
+        self.worker_id = worker_id
+        self.reason = reason
+        super().__init__(f"worker {worker_id!r} unavailable: {reason}")
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: dict | None = None, timeout: float = 30.0):
+    """One JSON-over-HTTP exchange on a fresh connection.
+
+    Returns ``(status, data)`` where ``data`` is the decoded JSON body
+    (or raw text for non-JSON responses). Raises ``OSError`` /
+    ``asyncio.TimeoutError`` / ``asyncio.IncompleteReadError`` on
+    transport failures — the caller maps those to its own error type.
+    """
+
+    async def exchange():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else b"")
+            writer.write(
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+            )
+            writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise asyncio.IncompleteReadError(status_line, None)
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            raw = await reader.readexactly(length) if length else b""
+            if headers.get("content-type", "").startswith("application/json"):
+                data = json.loads(raw) if raw else {}
+            else:
+                data = raw.decode("utf-8")
+            return status, data
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    return await asyncio.wait_for(exchange(), timeout)
+
+
+class ProcessWorker:
+    """One ``repro serve`` daemon as a supervised subprocess.
+
+    The handle survives its process: after :meth:`kill` (or a crash),
+    :meth:`start` spawns a fresh daemon on a fresh ephemeral port and the
+    handle points at it. ``extra_args`` go straight to ``repro serve``
+    (``--specs-dir``, ``--cache-dir``, ``--jobs``, ...).
+    """
+
+    def __init__(self, worker_id: str, *, host: str = "127.0.0.1",
+                 extra_args: tuple[str, ...] = (),
+                 startup_timeout: float = STARTUP_TIMEOUT):
+        self.worker_id = worker_id
+        self.host = host
+        self.port: int | None = None
+        self.extra_args = tuple(extra_args)
+        self.startup_timeout = startup_timeout
+        self.started_count = 0
+        self._proc: asyncio.subprocess.Process | None = None
+        self._stdout_drain: asyncio.Task | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Is the daemon process alive right now?"""
+        return self._proc is not None and self._proc.returncode is None
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid if self._proc is not None else None
+
+    async def start(self) -> tuple[str, int]:
+        """Spawn the daemon and wait for its bound address."""
+        if self.running:
+            return self.host, self.port
+        await self._reap()
+        self._proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host, "--port", "0", *self.extra_args,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+        )
+        try:
+            self.port = await asyncio.wait_for(
+                self._read_port(), self.startup_timeout
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            await self.stop()
+            raise WorkerError(
+                f"worker {self.worker_id!r} failed to announce its port"
+            ) from exc
+        self.started_count += 1
+        # Keep the daemon's stdout flowing into the void so a chatty
+        # child can never block on a full pipe.
+        self._stdout_drain = asyncio.get_running_loop().create_task(
+            self._drain_stdout()
+        )
+        return self.host, self.port
+
+    async def _read_port(self) -> int:
+        assert self._proc is not None and self._proc.stdout is not None
+        while True:
+            line = await self._proc.stdout.readline()
+            if not line:
+                raise asyncio.IncompleteReadError(line, None)
+            match = _SERVING_RE.search(line.decode("utf-8", "replace"))
+            if match:
+                return int(match.group(2))
+
+    async def _drain_stdout(self) -> None:
+        assert self._proc is not None and self._proc.stdout is not None
+        try:
+            while await self._proc.stdout.read(4096):
+                pass
+        except (asyncio.CancelledError, ValueError):
+            pass
+
+    async def stop(self, timeout: float = 10.0) -> None:
+        """Terminate gracefully (SIGTERM → drain), escalating to SIGKILL."""
+        proc = self._proc
+        if proc is not None and proc.returncode is None:
+            try:
+                proc.terminate()
+            except ProcessLookupError:
+                pass
+            try:
+                await asyncio.wait_for(proc.wait(), timeout)
+            except asyncio.TimeoutError:
+                try:
+                    proc.kill()
+                except ProcessLookupError:
+                    pass
+                await proc.wait()
+        await self._reap()
+
+    def kill(self) -> None:
+        """SIGKILL the daemon — the chaos path; no drain, no goodbye."""
+        proc = self._proc
+        if proc is not None and proc.returncode is None:
+            try:
+                proc.send_signal(signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    async def _reap(self) -> None:
+        if self._stdout_drain is not None:
+            self._stdout_drain.cancel()
+            await asyncio.gather(self._stdout_drain, return_exceptions=True)
+            self._stdout_drain = None
+        if self._proc is not None and self._proc.returncode is None:
+            try:
+                self._proc.kill()
+            except ProcessLookupError:
+                pass
+            await self._proc.wait()
+        self._proc = None
+        self.port = None
+
+    # -- I/O ------------------------------------------------------------------
+
+    async def request(self, method: str, path: str, body: dict | None = None,
+                      timeout: float = 30.0):
+        """Forward one HTTP exchange; transport failures become
+        :class:`WorkerUnavailableError` (the failover-retryable kind)."""
+        if not self.running or self.port is None:
+            raise WorkerUnavailableError(self.worker_id, "process not running")
+        try:
+            return await http_request(self.host, self.port, method, path,
+                                      body, timeout=timeout)
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            raise WorkerUnavailableError(
+                self.worker_id, type(exc).__name__
+            ) from exc
+
+    async def healthz(self, timeout: float = 5.0) -> dict:
+        """Probe ``/healthz``; raises :class:`WorkerUnavailableError` when
+        the daemon is dead, hung past ``timeout``, or answering garbage."""
+        status, data = await self.request("GET", "/healthz", timeout=timeout)
+        if status != 200 or not isinstance(data, dict):
+            raise WorkerUnavailableError(
+                self.worker_id, f"healthz returned {status}"
+            )
+        return data

@@ -108,6 +108,14 @@ class RetryPolicy:
     the engine's clock; an attempt that overruns it counts as failed (and
     is rolled back) even though the update returned.
 
+    ``jitter`` spreads correlated retries (a fleet of workers restarting
+    in lockstep would hammer whatever killed them): when an ``rng`` is
+    passed to :meth:`delay`, the computed delay is scaled by a uniform
+    factor in ``[1 - jitter, 1 + jitter]``. A seeded ``random.Random``
+    keeps the spread deterministic; without an ``rng`` the delay is the
+    exact unjittered value, preserving replay determinism everywhere the
+    engine does not opt in.
+
     >>> RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0).delay(3)
     0.4
     """
@@ -117,6 +125,7 @@ class RetryPolicy:
     multiplier: float = 1.0
     max_delay: float | None = None
     timeout: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -129,6 +138,8 @@ class RetryPolicy:
             raise ValueError("max_delay must be non-negative")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
 
     @classmethod
     def fixed(cls, max_attempts: int, delay: float = 0.0,
@@ -144,11 +155,19 @@ class RetryPolicy:
         return cls(max_attempts=max_attempts, base_delay=base_delay,
                    multiplier=multiplier, max_delay=max_delay, timeout=timeout)
 
-    def delay(self, attempt: int) -> float:
-        """Seconds to back off after failed attempt number ``attempt`` (1-based)."""
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to back off after failed attempt number ``attempt`` (1-based).
+
+        Pass a (seeded) ``rng`` to apply the policy's ``jitter``; the cap
+        ``max_delay`` bounds the delay before and after jittering, so a
+        jittered delay never escapes the configured envelope upward by
+        more than ``jitter`` of the cap.
+        """
         delay = self.base_delay * self.multiplier ** (attempt - 1)
         if self.max_delay is not None:
             delay = min(delay, self.max_delay)
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return delay
 
     @property
@@ -169,6 +188,7 @@ class RetryPolicy:
             "multiplier": self.multiplier,
             "max_delay": self.max_delay,
             "timeout": self.timeout,
+            "jitter": self.jitter,
         }
 
     @classmethod

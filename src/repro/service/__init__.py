@@ -28,12 +28,13 @@ from .batcher import (
     VerifyBatcher,
 )
 from .client import ServiceClient, ServiceClientError
-from .registry import SpecEntry, SpecRegistry, UnknownSpecError
+from .registry import SpecEntry, SpecRegistry, TenantView, UnknownSpecError
 from .server import ServiceHandle, VerificationService, serve_in_thread
 
 __all__ = [
     "SpecRegistry",
     "SpecEntry",
+    "TenantView",
     "UnknownSpecError",
     "VerifyBatcher",
     "QueueFullError",

@@ -23,9 +23,15 @@ Admission control is explicit: a bounded queue measured in *properties*
 (HTTP 503), and a per-request deadline checked against an injectable
 :class:`~repro.core.resilience.Clock` — a
 :class:`~repro.core.resilience.VirtualClock` makes expiry deterministic
-in tests (HTTP 504). Graceful shutdown (:meth:`VerifyBatcher.aclose`)
-stops admissions first, then drains: every request accepted before the
-drain began still gets its verdict.
+in tests (HTTP 504). Expiry is enforced twice: at dispatch time (a batch
+never verifies dead requests) and by a periodic *sweep*
+(:meth:`VerifyBatcher.sweep_expired`, run by a background task every
+``expiry_interval`` seconds) — so a request whose deadline passes while
+the coalescing window is idle or the queue is parked behind a long batch
+gets its 504 promptly, not whenever the next dispatch happens to look.
+Graceful shutdown (:meth:`VerifyBatcher.aclose`) stops admissions first,
+then drains: every request accepted before the drain began still gets
+its verdict.
 """
 
 from __future__ import annotations
@@ -124,6 +130,7 @@ class VerifyBatcher:
         queue_limit: int = 256,
         batch_window: float = 0.005,
         default_deadline: float | None = 30.0,
+        expiry_interval: float = 0.05,
         clock: Clock | None = None,
         executor=None,
         obs=None,
@@ -132,11 +139,14 @@ class VerifyBatcher:
             raise ValueError("queue_limit must be >= 1")
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
+        if expiry_interval <= 0:
+            raise ValueError("expiry_interval must be > 0")
         self.registry = registry
         self.jobs = jobs
         self.queue_limit = queue_limit
         self.batch_window = batch_window
         self.default_deadline = default_deadline
+        self.expiry_interval = expiry_interval
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.executor = executor
         self.obs = obs
@@ -145,21 +155,30 @@ class VerifyBatcher:
         self._depth = 0  # queued properties across all groups
         self._wake = asyncio.Event()
         self._task: asyncio.Task | None = None
+        self._sweep_task: asyncio.Task | None = None
         self._draining = False
 
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the consumer task on the running event loop."""
+        """Spawn the consumer and expiry-sweep tasks on the running loop."""
         if self._task is None or self._task.done():
             self._task = asyncio.get_running_loop().create_task(
                 self._run(), name="repro-verify-batcher"
             )
+        if self._sweep_task is None or self._sweep_task.done():
+            self._sweep_task = asyncio.get_running_loop().create_task(
+                self._sweep_loop(), name="repro-verify-expiry"
+            )
 
     async def aclose(self) -> None:
-        """Stop admissions, drain every accepted request, stop the task."""
+        """Stop admissions, drain every accepted request, stop the tasks."""
         self._draining = True
         self._wake.set()
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            await asyncio.gather(self._sweep_task, return_exceptions=True)
+            self._sweep_task = None
         if self._task is not None:
             await self._task
             self._task = None
@@ -240,6 +259,55 @@ class VerifyBatcher:
                 await asyncio.sleep(self.batch_window)
             await self.flush(limit=len(self._pending))
 
+    async def _sweep_loop(self) -> None:
+        # The consumer can be parked for a long time — an idle coalescing
+        # window with nothing to dispatch, or a huge batch hogging the
+        # executor while new requests pile up behind it. The sweeper runs
+        # beside it so deadline expiry (on the *injectable* clock) is
+        # delivered promptly in wall time either way.
+        while not self._draining:
+            await asyncio.sleep(self.expiry_interval)
+            self.sweep_expired()
+
+    def sweep_expired(self) -> int:
+        """Fail every queued request whose deadline has passed; returns
+        how many were expired.
+
+        Also the deterministic test seam: submit, advance a
+        :class:`~repro.core.resilience.VirtualClock`, call this by hand.
+        """
+        now = self.clock.now()
+        expired = 0
+        for key in list(self._pending):
+            requests = self._pending[key]
+            live: list[_Request] = []
+            for request in requests:
+                if not request.future.done() and request.expired(now):
+                    self._expire(request, now)
+                    expired += 1
+                else:
+                    live.append(request)
+            if len(live) != len(requests):
+                removed_cost = (
+                    sum(max(len(r.props), 1) for r in requests)
+                    - sum(max(len(r.props), 1) for r in live)
+                )
+                self._depth -= removed_cost
+                if live:
+                    self._pending[key] = live
+                else:
+                    del self._pending[key]
+        if expired:
+            self._gauge("service.queue_depth", self._depth)
+        return expired
+
+    def _expire(self, request: _Request, now: float) -> None:
+        self.stats.expired += len(request.props)
+        self._count("service.verify.expired", len(request.props))
+        request.future.set_exception(
+            DeadlineExceededError(now - request.enqueued_at, request.deadline)
+        )
+
     async def flush(self, limit: int | None = None) -> int:
         """Dispatch up to ``limit`` pending groups (all of them by default).
 
@@ -261,15 +329,10 @@ class VerifyBatcher:
         now = self.clock.now()
         live: list[_Request] = []
         for request in requests:
-            if request.future.cancelled():
+            if request.future.done():  # cancelled, or already swept to 504
                 continue
             if request.expired(now):
-                self.stats.expired += len(request.props)
-                self._count("service.verify.expired", len(request.props))
-                request.future.set_exception(
-                    DeadlineExceededError(now - request.enqueued_at,
-                                          request.deadline)
-                )
+                self._expire(request, now)
                 continue
             live.append(request)
         if not live:

@@ -9,12 +9,28 @@ use any HTTP client — the protocol is plain JSON over HTTP/1.1.
 Service-side rejections surface as :class:`ServiceClientError` carrying
 the HTTP status, so callers can tell backpressure (429), draining (503),
 and deadline expiry (504) apart from their own bugs (400/404).
+
+Retries are deliberate, not blind. A request is re-sent only when it is
+provably safe: the connection failed before any bytes were sent (nothing
+reached the server), or the endpoint is *idempotent* — all the read-only
+decision procedures (``/verify``, ``/consistency``, ``/compile``,
+``/schedule``) are pure functions of the specification, and GETs
+trivially so. A non-idempotent ``POST /specs`` that dies mid-response is
+surfaced to the caller instead of silently re-executed. Between retries
+the client backs off with seeded jitter, bounded by ``retries``, so a
+fleet of clients hammering a restarting daemon does not re-arrive in
+lockstep. The same client speaks to a single ``repro serve`` daemon or a
+``repro cluster`` router — identical wire protocol; ``tenant=`` adds the
+``X-Repro-Tenant`` namespace header the router scopes specs and
+admission quotas by.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Any
 
 from ..errors import ReproError
@@ -38,12 +54,28 @@ class ServiceClient:
     Not thread-safe (``http.client`` connections are not); give each
     thread its own client — they multiplex fine on the server side, which
     is exactly what the batcher wants.
+
+    ``retries`` bounds reconnect attempts *after* the first try;
+    ``backoff`` is the base delay between them, doubled per attempt and
+    jittered by the seeded ``rng`` (pass ``backoff=0`` in tests for
+    instant retries).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 *, tenant: str | None = None, retries: int = 1,
+                 backoff: float = 0.05, seed: int | None = None):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.tenant = tenant
+        self.retries = retries
+        self.backoff = backoff
+        self._rng = random.Random(seed)
+        self._sleep = time.sleep  # test seam
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing -------------------------------------------------------------
@@ -55,21 +87,50 @@ class ServiceClient:
             )
         return self._conn
 
-    def _request(self, method: str, path: str, body: dict | None = None):
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 idempotent: bool | None = None):
+        """One exchange, with bounded retries where re-sending is safe.
+
+        ``idempotent=None`` means "GETs only". Failures while *connecting*
+        (no bytes ever reached the server) are always retryable; failures
+        after the request started going out are retried only for
+        idempotent endpoints — the server may already be (or have
+        finished) executing the first copy.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
-        for attempt in (1, 2):
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        attempt = 0
+        while True:
+            attempt += 1
             conn = self._connection()
+            connected = conn.sock is not None
+            try:
+                if not connected:
+                    conn.connect()  # split out: a connect failure sent nothing
+            except (OSError, http.client.HTTPException):
+                self.close()
+                if attempt > self.retries:
+                    raise
+                self._backoff_sleep(attempt)
+                continue
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 break
-            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
-                # A dropped keep-alive connection (server restart, idle
-                # timeout): reconnect once, then give up.
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, TimeoutError):
+                # The request (at least partly) went out and died — a
+                # dropped keep-alive, a mid-response crash. Only an
+                # idempotent endpoint may be re-sent: the server may have
+                # executed the first copy already.
                 self.close()
-                if attempt == 2:
+                if not idempotent or attempt > self.retries:
                     raise
+                self._backoff_sleep(attempt)
         raw = response.read()
         content_type = response.headers.get("Content-Type", "")
         if content_type.startswith("application/json"):
@@ -79,6 +140,14 @@ class ServiceClient:
         if response.status >= 400:
             raise ServiceClientError(response.status, data)
         return data
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        if self.backoff <= 0:
+            return
+        # Exponential with full jitter in [0.5, 1.0] of the step, so
+        # concurrent clients spread out instead of retrying in lockstep.
+        delay = self.backoff * (2 ** (attempt - 1))
+        self._sleep(delay * (0.5 + 0.5 * self._rng.random()))
 
     def close(self) -> None:
         if self._conn is not None:
@@ -106,15 +175,18 @@ class ServiceClient:
         return self._request("GET", "/specs")["specs"]
 
     def register(self, name: str, text: str) -> dict:
+        # Not marked idempotent: a re-sent registration racing a
+        # different writer could double-bump the version.
         return self._request("POST", "/specs", {"name": name, "text": text})
 
     def compile(self, spec: str | None = None, text: str | None = None) -> dict:
-        return self._request("POST", "/compile", _target(spec, text))
+        return self._request("POST", "/compile", _target(spec, text),
+                             idempotent=True)
 
     def consistency(self, spec: str | None = None,
                     text: str | None = None) -> bool:
         return self._request(
-            "POST", "/consistency", _target(spec, text)
+            "POST", "/consistency", _target(spec, text), idempotent=True
         )["consistent"]
 
     def verify(
@@ -132,13 +204,13 @@ class ServiceClient:
             body["timeout"] = timeout
         if seed is not None:
             body["seed"] = seed
-        return self._request("POST", "/verify", body)
+        return self._request("POST", "/verify", body, idempotent=True)
 
     def schedule(self, spec: str | None = None, text: str | None = None,
                  limit: int = 1) -> dict:
         body = _target(spec, text)
         body["limit"] = limit
-        return self._request("POST", "/schedule", body)
+        return self._request("POST", "/schedule", body, idempotent=True)
 
 
 def _target(spec: str | None, text: str | None) -> dict:

@@ -20,11 +20,24 @@ the backing file and re-registers it when its mtime changed, so editing
 ``orders.workflow`` on disk is visible to the next request without
 restarting the daemon. A file that vanishes keeps serving its last good
 parse — a deploy atomically replacing files must never 404 mid-swap.
+The same applies one level up: the whole specs *directory* being deleted
+and recreated mid-scan (an rsync-style deploy, a remounted volume) is
+survived by serving last-good entries, logging the disappearance once,
+and resuming hot-reload when the directory reappears — never by letting
+``FileNotFoundError`` escape the mtime walk into a request handler.
+
+Multi-tenant routers scope the catalog with :meth:`SpecRegistry.namespaced`:
+a :class:`TenantView` prefixes registrations with ``tenant::`` so two
+tenants' specs of the same name never collide nor coalesce, while
+directory-loaded (unprefixed) entries stay visible to every tenant as a
+shared read-only catalog. Inline text stays content-addressed globally —
+verification is pure, so identical text may safely share one compile.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -33,7 +46,12 @@ from pathlib import Path
 from ..errors import ReproError
 from ..spec import Specification, parse_specification
 
-__all__ = ["SpecEntry", "SpecRegistry", "UnknownSpecError"]
+__all__ = ["SpecEntry", "SpecRegistry", "TenantView", "UnknownSpecError"]
+
+log = logging.getLogger("repro.service.registry")
+
+#: Separator between a tenant namespace and the spec's own name.
+TENANT_SEP = "::"
 
 #: File suffixes the directory scan recognises as specifications.
 SPEC_SUFFIXES = (".workflow", ".spec")
@@ -93,6 +111,7 @@ class SpecRegistry:
         self._entries: dict[str, SpecEntry] = {}
         self._compiled: dict[str, object] = {}  # SpecEntry.key -> CompiledWorkflow
         self._inline: OrderedDict[str, SpecEntry] = OrderedDict()
+        self._dir_missing = False  # log the disappearance once, not per lookup
         if self.specs_dir is not None:
             self.load_directory()
 
@@ -139,11 +158,21 @@ class SpecRegistry:
         The stem is the registered name: ``orders.workflow`` → ``orders``.
         Unparseable files are skipped (a daemon must come up even when one
         spec in the directory is mid-edit); they surface on explicit lookup.
+        A directory that vanished (deploy mid-swap, unmounted volume)
+        yields ``[]`` and keeps the already-registered entries serving.
         """
-        if self.specs_dir is None or not self.specs_dir.is_dir():
+        if self.specs_dir is None:
             return []
         loaded = []
-        for path in sorted(self.specs_dir.iterdir()):
+        try:
+            listing = sorted(self.specs_dir.iterdir())
+        except OSError:
+            # The directory itself is gone — even is_dir() then iterdir()
+            # races a deletion, so catch rather than pre-check.
+            self._note_dir_missing()
+            return []
+        self._note_dir_present()
+        for path in listing:
             if path.suffix not in SPEC_SUFFIXES or not path.is_file():
                 continue
             try:
@@ -154,6 +183,20 @@ class SpecRegistry:
             except (OSError, ReproError):
                 continue
         return loaded
+
+    def _note_dir_missing(self) -> None:
+        if not self._dir_missing:
+            self._dir_missing = True
+            log.warning(
+                "specs directory %s vanished; serving last-good entries "
+                "until it reappears", self.specs_dir,
+            )
+
+    def _note_dir_present(self) -> None:
+        if self._dir_missing:
+            self._dir_missing = False
+            log.info("specs directory %s reappeared; hot-reload resumed",
+                     self.specs_dir)
 
     # -- lookup ---------------------------------------------------------------
 
@@ -172,7 +215,12 @@ class SpecRegistry:
             try:
                 mtime = entry.source.stat().st_mtime
             except OSError:
-                return entry  # file vanished: keep serving the last good parse
+                # File (or the whole directory) vanished: keep serving the
+                # last good parse and say so once.
+                if self.specs_dir is not None and not self.specs_dir.is_dir():
+                    self._note_dir_missing()
+                return entry
+            self._note_dir_present()
             if mtime != entry.mtime:
                 try:
                     text = entry.source.read_text(encoding="utf-8")
@@ -224,6 +272,16 @@ class SpecRegistry:
         with self._lock:
             return sorted(self._entries)
 
+    # -- tenant namespaces -----------------------------------------------------
+
+    def namespaced(self, tenant: str) -> "TenantView":
+        """A :class:`TenantView` scoping this catalog to ``tenant``.
+
+        Views share the underlying maps, compile memo, and disk cache —
+        a namespace is a key prefix, not a copy.
+        """
+        return TenantView(self, tenant)
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._entries
@@ -263,3 +321,75 @@ class SpecRegistry:
                 if current is not None and current.key == entry.key:
                     self._compiled[entry.key] = compiled
         return compiled
+
+
+class TenantView:
+    """A per-tenant window onto a :class:`SpecRegistry`.
+
+    Registrations are keyed ``tenant::name``, so tenants can neither
+    shadow nor read each other's specs; lookups fall back to the
+    registry's *unprefixed* entries (the specs-directory preload), which
+    act as a catalog shared by every tenant. Inline text resolves through
+    the shared content-addressed memo — identical text is identical work,
+    whoever asks.
+    """
+
+    def __init__(self, registry: SpecRegistry, tenant: str):
+        if TENANT_SEP in tenant:
+            raise ValueError(f"tenant name may not contain {TENANT_SEP!r}")
+        self.registry = registry
+        self.tenant = tenant
+
+    def _scoped(self, name: str) -> str:
+        if TENANT_SEP in name:
+            # Never let "other::secret" escape the namespace via the
+            # shared-catalog fallback in :meth:`get`.
+            raise UnknownSpecError(name, tuple(self.names()))
+        return f"{self.tenant}{TENANT_SEP}{name}"
+
+    def public_name(self, entry: SpecEntry) -> str:
+        """The client-facing name: the entry's name minus this namespace."""
+        prefix = f"{self.tenant}{TENANT_SEP}"
+        if entry.name.startswith(prefix):
+            return entry.name[len(prefix):]
+        return entry.name
+
+    def register(self, name: str, text: str) -> SpecEntry:
+        return self.registry.register(self._scoped(name), text)
+
+    def unregister(self, name: str) -> bool:
+        return self.registry.unregister(self._scoped(name))
+
+    def get(self, name: str) -> SpecEntry:
+        scoped = self._scoped(name)  # outside the try: its refusal of
+        # "other::secret" must not be mistaken for a plain miss below.
+        try:
+            return self.registry.get(scoped)
+        except UnknownSpecError:
+            pass
+        try:
+            return self.registry.get(name)  # the shared (directory) catalog
+        except UnknownSpecError:
+            raise UnknownSpecError(name, tuple(self.names())) from None
+
+    def resolve_inline(self, text: str) -> SpecEntry:
+        return self.registry.resolve_inline(text)
+
+    def compiled(self, entry: SpecEntry, obs=None):
+        return self.registry.compiled(entry, obs=obs)
+
+    def names(self) -> list[str]:
+        prefix = f"{self.tenant}{TENANT_SEP}"
+        out = set()
+        for name in self.registry.names():
+            if name.startswith(prefix):
+                out.add(name[len(prefix):])
+            elif TENANT_SEP not in name:
+                out.add(name)  # shared catalog entry
+        return sorted(out)
+
+    def __contains__(self, name: str) -> bool:
+        if TENANT_SEP in name:
+            return False
+        return (f"{self.tenant}{TENANT_SEP}{name}" in self.registry
+                or name in self.registry)

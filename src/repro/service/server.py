@@ -31,23 +31,22 @@ accepting connections and new verify work first, then drains every
 accepted batch and lets in-flight handlers write their responses: an
 accepted request is never dropped.
 
-Observability is on by default for a daemon: a
-:class:`~repro.obs.metrics.MetricsRegistry` rendered by ``/metrics``
-(request counters and latency histograms per endpoint, queue depth,
-batch sizes, shed/expired counts) plus an optional span per request when
-constructed with a tracing :class:`~repro.obs.config.Observability`.
+The HTTP substrate (connection lifecycle, request parsing, per-endpoint
+metrics and spans) lives in :class:`~repro.service.http.HttpServerBase`,
+shared with the :class:`~repro.cluster.router.ClusterRouter` — the
+cluster front door speaks this exact protocol, so anything that can talk
+to one daemon can talk to a fleet.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from ..core.resilience import Clock
-from ..errors import ParseError, ReproError
+from ..errors import ReproError
 from ..obs.config import Observability
 from ..obs.metrics import MetricsRegistry
 from .batcher import (
@@ -56,35 +55,24 @@ from .batcher import (
     ServiceDrainingError,
     VerifyBatcher,
 )
+from .http import HttpError, HttpServerBase, json_body
 from .registry import SpecEntry, SpecRegistry, UnknownSpecError
 
 __all__ = ["VerificationService", "ServiceHandle", "serve_in_thread"]
 
-#: Largest accepted request body; a specification is text, not a payload.
-MAX_BODY_BYTES = 1 << 20
-
 #: Hard cap on schedules returned by one ``/schedule`` call.
 MAX_SCHEDULES = 10_000
 
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
-}
+# Backward-compatible aliases: these predate the extraction of the shared
+# HTTP substrate into repro.service.http.
+_HttpError = HttpError
+_json_body = staticmethod(json_body)
 
 
-class _HttpError(Exception):
-    """Internal: carries a status + JSON error payload to the writer."""
-
-    def __init__(self, status: int, message: str, **extra):
-        self.status = status
-        self.payload = {"error": message, **extra}
-        super().__init__(message)
-
-
-class VerificationService:
+class VerificationService(HttpServerBase):
     """The daemon: registry + batcher + HTTP front end, one event loop."""
+
+    metrics_prefix = "service"
 
     def __init__(
         self,
@@ -99,12 +87,10 @@ class VerificationService:
         clock: Clock | None = None,
         obs: Observability | None = None,
     ):
+        super().__init__(obs=obs)
         if registry is None:
             registry = SpecRegistry(specs_dir=specs_dir, cache=cache)
         self.registry = registry
-        self.obs = obs if obs is not None else Observability(
-            metrics=MetricsRegistry()
-        )
         self.executor = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="repro-service"
         )
@@ -118,35 +104,13 @@ class VerificationService:
             executor=self.executor,
             obs=self.obs,
         )
-        self._server: asyncio.AbstractServer | None = None
-        self._connections: set[asyncio.Task] = set()
-        self._active_requests = 0
-        self._idle = asyncio.Event()
-        self._idle.set()
-        self._shutting_down = False
 
     # -- lifecycle ------------------------------------------------------------
-
-    @property
-    def address(self) -> tuple[str, int] | None:
-        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
-        if self._server is None or not self._server.sockets:
-            return None
-        host, port = self._server.sockets[0].getsockname()[:2]
-        return host, port
 
     async def start(self, host: str = "127.0.0.1", port: int = 8745) -> tuple[str, int]:
         """Bind and start serving; returns the bound address."""
         self.batcher.start()
-        self._server = await asyncio.start_server(self._on_connection, host, port)
-        return self.address
-
-    async def serve_forever(self) -> None:
-        assert self._server is not None, "call start() first"
-        try:
-            await self._server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+        return await super().start(host, port)
 
     async def shutdown(self, drain: bool = True) -> None:
         """Stop accepting, then drain (or cancel) in-flight work.
@@ -155,24 +119,13 @@ class VerificationService:
         verification batch and every in-flight HTTP response before
         returning. ``drain=False`` abandons the queue (waiters see 503).
         """
-        self._shutting_down = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self._stop_accepting()
         if drain:
             await self.batcher.aclose()
-            # Wait for in-flight *requests* (not idle keep-alive sockets —
-            # a parked client must not be able to hold shutdown hostage):
-            # every accepted request finishes writing its response.
-            await self._idle.wait()
-            for task in list(self._connections):
-                task.cancel()
-            if self._connections:
-                await asyncio.gather(*self._connections, return_exceptions=True)
+            await self._drain_connections()
         else:
             self.batcher._draining = True
-            for task in list(self._connections):
-                task.cancel()
+            self._cancel_connections()
             for group in list(self.batcher._pending.values()):
                 for request in group:
                     if not request.future.done():
@@ -183,146 +136,20 @@ class VerificationService:
                 await asyncio.gather(self.batcher._task, return_exceptions=True)
         self.executor.shutdown(wait=True)
 
-    # -- connection handling --------------------------------------------------
-
-    def _on_connection(self, reader, writer) -> None:
-        task = asyncio.get_running_loop().create_task(
-            self._serve_connection(reader, writer)
-        )
-        self._connections.add(task)
-        task.add_done_callback(self._connections.discard)
-
-    async def _serve_connection(self, reader, writer) -> None:
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except _HttpError as exc:
-                    await self._write_response(
-                        writer, exc.status, exc.payload,
-                        "application/json", keep_alive=False,
-                    )
-                    break
-                if request is None:
-                    break
-                method, path, query, headers, body = request
-                keep_alive = headers.get("connection", "keep-alive") != "close"
-                self._begin_request()
-                try:
-                    status, payload, content_type = await self._route(
-                        method, path, query, body
-                    )
-                    await self._write_response(
-                        writer, status, payload, content_type,
-                        keep_alive=keep_alive,
-                    )
-                finally:
-                    self._end_request()
-                if not keep_alive:
-                    break
-        except (asyncio.IncompleteReadError, ConnectionResetError,
-                BrokenPipeError, asyncio.CancelledError):
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _write_response(self, writer, status, payload, content_type,
-                              keep_alive: bool) -> None:
-        raw = (
-            payload.encode("utf-8")
-            if isinstance(payload, str)
-            else json.dumps(payload, default=str).encode("utf-8")
-        )
-        writer.write(
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(raw)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n".encode("ascii")
-        )
-        writer.write(raw)
-        await writer.drain()
-
-    def _begin_request(self) -> None:
-        self._active_requests += 1
-        self._idle.clear()
-
-    def _end_request(self) -> None:
-        self._active_requests -= 1
-        if self._active_requests == 0:
-            self._idle.set()
-
-    async def _read_request(self, reader):
-        """Parse one HTTP/1.1 request; None on clean EOF between requests."""
-        try:
-            request_line = await reader.readline()
-        except (ConnectionResetError, ValueError):
-            return None
-        if not request_line:
-            return None
-        try:
-            method, target, _version = request_line.decode("ascii").split()
-        except ValueError:
-            raise _HttpError(400, "malformed request line") from None
-        path, _, query_string = target.partition("?")
-        query = {}
-        for pair in query_string.split("&"):
-            if pair:
-                key, _, value = pair.partition("=")
-                query[key] = value
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
-        if length > MAX_BODY_BYTES:
-            raise _HttpError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
-        return method, path, query, headers, body
-
     # -- routing --------------------------------------------------------------
 
-    async def _route(self, method, path, query, body):
-        """Dispatch; returns (status, payload, content-type)."""
-        endpoint = path.strip("/").replace("/", ".") or "root"
-        metrics = self.obs.metrics
-        started = asyncio.get_running_loop().time()
-        span = self.obs.tracer.span(f"http.{endpoint}", method=method)
-        try:
-            with span:
-                status, payload, content_type = await self._handle(
-                    method, path, query, body
-                )
-        except _HttpError as exc:
-            status, payload, content_type = (
-                exc.status, exc.payload, "application/json",
-            )
-        except ReproError as exc:
-            status = _status_for(exc)
-            payload = {"error": str(exc), "kind": type(exc).__name__}
-            content_type = "application/json"
-        except Exception as exc:  # never kill the connection loop
-            status = 500
-            payload = {"error": str(exc), "kind": type(exc).__name__}
-            content_type = "application/json"
-        if metrics is not None:
-            metrics.inc(f"service.http.{endpoint}.requests")
-            if status >= 400:
-                metrics.inc(f"service.http.{endpoint}.errors")
-            metrics.observe(
-                f"service.http.{endpoint}.latency",
-                asyncio.get_running_loop().time() - started,
-            )
-        return status, payload, content_type
+    def _error_status(self, exc: ReproError) -> int:
+        if isinstance(exc, QueueFullError):
+            return 429
+        if isinstance(exc, ServiceDrainingError):
+            return 503
+        if isinstance(exc, DeadlineExceededError):
+            return 504
+        if isinstance(exc, UnknownSpecError):
+            return 404
+        return super()._error_status(exc)
 
-    async def _handle(self, method, path, query, body):
+    async def _handle(self, method, path, query, headers, body):
         if path == "/healthz" and method == "GET":
             return 200, {
                 "status": "draining" if self._shutting_down else "ok",
@@ -346,10 +173,10 @@ class VerificationService:
                 })
             return 200, {"specs": specs}, "application/json"
         if path == "/specs" and method == "POST":
-            data = _json_body(body)
+            data = json_body(body)
             name, text = data.get("name"), data.get("text")
             if not isinstance(name, str) or not isinstance(text, str):
-                raise _HttpError(400, "POST /specs needs string 'name' and 'text'")
+                raise HttpError(400, "POST /specs needs string 'name' and 'text'")
             entry = self.registry.register(name, text)
             return 200, {"name": entry.name, "version": entry.version}, \
                 "application/json"
@@ -359,10 +186,10 @@ class VerificationService:
             known = ("/healthz", "/metrics", "/specs", "/compile",
                      "/consistency", "/verify", "/schedule")
             if path in known:
-                raise _HttpError(405, f"method {method} not allowed on {path}")
-            raise _HttpError(404, f"no such endpoint {path}")
+                raise HttpError(405, f"method {method} not allowed on {path}")
+            raise HttpError(404, f"no such endpoint {path}")
 
-        data = _json_body(body)
+        data = json_body(body)
         entry = self._resolve_entry(data)
         if path == "/verify":
             return await self._handle_verify(entry, data)
@@ -394,7 +221,7 @@ class VerificationService:
         # /schedule
         limit = data.get("limit", 1)
         if not isinstance(limit, int) or limit < 1:
-            raise _HttpError(400, "'limit' must be a positive integer")
+            raise HttpError(400, "'limit' must be a positive integer")
         limit = min(limit, MAX_SCHEDULES)
         compiled = await loop.run_in_executor(
             self.executor, self.registry.compiled, entry
@@ -426,17 +253,17 @@ class VerificationService:
             if not isinstance(requested, list) or not all(
                 isinstance(p, str) for p in requested
             ):
-                raise _HttpError(400, "'properties' must be a list of strings")
+                raise HttpError(400, "'properties' must be a list of strings")
             names = list(requested)
             props = [parse_constraint(p) for p in requested]
         if not props:
             return 200, {"spec": entry.name, "results": []}, "application/json"
         deadline = data.get("timeout")
         if deadline is not None and not isinstance(deadline, (int, float)):
-            raise _HttpError(400, "'timeout' must be a number of seconds")
+            raise HttpError(400, "'timeout' must be a number of seconds")
         seed = data.get("seed")
         if seed is not None and not isinstance(seed, int):
-            raise _HttpError(400, "'seed' must be an integer")
+            raise HttpError(400, "'seed' must be an integer")
         results = await self.batcher.submit(
             entry, props, deadline=deadline, seed=seed
         )
@@ -457,40 +284,14 @@ class VerificationService:
     def _resolve_entry(self, data) -> SpecEntry:
         name, text = data.get("spec"), data.get("text")
         if (name is None) == (text is None):
-            raise _HttpError(400, "provide exactly one of 'spec' or 'text'")
+            raise HttpError(400, "provide exactly one of 'spec' or 'text'")
         if name is not None:
             if not isinstance(name, str):
-                raise _HttpError(400, "'spec' must be a string")
+                raise HttpError(400, "'spec' must be a string")
             return self.registry.get(name)
         if not isinstance(text, str):
-            raise _HttpError(400, "'text' must be a string")
+            raise HttpError(400, "'text' must be a string")
         return self.registry.resolve_inline(text)
-
-
-def _status_for(exc: ReproError) -> int:
-    if isinstance(exc, QueueFullError):
-        return 429
-    if isinstance(exc, ServiceDrainingError):
-        return 503
-    if isinstance(exc, DeadlineExceededError):
-        return 504
-    if isinstance(exc, UnknownSpecError):
-        return 404
-    if isinstance(exc, ParseError):
-        return 400
-    return 400
-
-
-def _json_body(body: bytes):
-    if not body:
-        return {}
-    try:
-        data = json.loads(body)
-    except ValueError:
-        raise _HttpError(400, "request body is not valid JSON") from None
-    if not isinstance(data, dict):
-        raise _HttpError(400, "request body must be a JSON object")
-    return data
 
 
 # -- the synchronous harness ---------------------------------------------------

@@ -1,0 +1,128 @@
+"""call_with_failover: replica walks, retry budgets, hedged reads."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.failover import AllReplicasFailedError, call_with_failover
+from repro.cluster.worker import WorkerUnavailableError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def scripted(behaviors, calls=None):
+    """``behaviors[worker] = result | Exception | (delay, result)``."""
+    calls = calls if calls is not None else []
+
+    async def call(worker_id):
+        calls.append(worker_id)
+        behavior = behaviors[worker_id]
+        if isinstance(behavior, tuple):
+            delay, behavior = behavior
+            await asyncio.sleep(delay)
+        if isinstance(behavior, Exception):
+            raise behavior
+        return behavior
+
+    return call, calls
+
+
+class TestSequential:
+    def test_primary_answers(self):
+        call, calls = scripted({"w0": "ok0", "w1": "ok1"})
+        result, worker = run(call_with_failover(["w0", "w1"], call))
+        assert (result, worker) == ("ok0", "w0")
+        assert calls == ["w0"]
+
+    def test_fails_over_in_placement_order(self):
+        call, calls = scripted({
+            "w0": WorkerUnavailableError("w0", "dead"),
+            "w1": WorkerUnavailableError("w1", "dead"),
+            "w2": "ok2",
+        })
+        failures = []
+        result, worker = run(call_with_failover(
+            ["w0", "w1", "w2"], call,
+            on_failure=lambda w, e: failures.append(w),
+        ))
+        assert (result, worker) == ("ok2", "w2")
+        assert calls == ["w0", "w1", "w2"]
+        assert failures == ["w0", "w1"]
+
+    def test_budget_caps_attempts(self):
+        call, calls = scripted({
+            "w0": WorkerUnavailableError("w0", "dead"),
+            "w1": WorkerUnavailableError("w1", "dead"),
+            "w2": "never reached",
+        })
+        with pytest.raises(AllReplicasFailedError) as info:
+            run(call_with_failover(["w0", "w1", "w2"], call, budget=2))
+        assert calls == ["w0", "w1"]
+        assert len(info.value.errors) == 2
+
+    def test_all_replicas_down(self):
+        call, _ = scripted({
+            "w0": WorkerUnavailableError("w0", "dead"),
+            "w1": WorkerUnavailableError("w1", "dead"),
+        })
+        with pytest.raises(AllReplicasFailedError):
+            run(call_with_failover(["w0", "w1"], call))
+
+    def test_empty_replica_set(self):
+        async def call(worker_id):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(AllReplicasFailedError):
+            run(call_with_failover([], call))
+
+    def test_non_transport_error_propagates_immediately(self):
+        call, calls = scripted({"w0": ValueError("bad spec"), "w1": "ok"})
+        with pytest.raises(ValueError):
+            run(call_with_failover(["w0", "w1"], call))
+        assert calls == ["w0"]  # an *answer*, not a transport failure
+
+
+class TestHedged:
+    def test_fast_primary_wins_without_hedging(self):
+        call, calls = scripted({"w0": "ok0", "w1": "ok1"})
+        result, worker = run(call_with_failover(
+            ["w0", "w1"], call, hedge_delay=0.05
+        ))
+        assert (result, worker) == ("ok0", "w0")
+        assert calls == ["w0"]
+
+    def test_slow_primary_hedges_to_secondary(self):
+        call, calls = scripted({"w0": (0.5, "ok0"), "w1": "ok1"})
+        result, worker = run(call_with_failover(
+            ["w0", "w1"], call, hedge_delay=0.01
+        ))
+        assert (result, worker) == ("ok1", "w1")
+        assert set(calls) == {"w0", "w1"}  # the straggler was started...
+        # ...and cancelled: no leaked tasks (asyncio.run would warn).
+
+    def test_failed_primary_launches_next_immediately(self):
+        call, calls = scripted({
+            "w0": WorkerUnavailableError("w0", "dead"),
+            "w1": (0.01, "ok1"),
+        })
+        result, worker = run(call_with_failover(
+            ["w0", "w1"], call, hedge_delay=5.0
+        ))
+        assert (result, worker) == ("ok1", "w1")
+        assert calls == ["w0", "w1"]
+
+    def test_hedged_all_fail(self):
+        call, _ = scripted({
+            "w0": (0.01, WorkerUnavailableError("w0", "dead")),
+            "w1": WorkerUnavailableError("w1", "dead"),
+        })
+        with pytest.raises(AllReplicasFailedError) as info:
+            run(call_with_failover(["w0", "w1"], call, hedge_delay=0.001))
+        assert len(info.value.errors) == 2
+
+    def test_hedged_non_transport_error_propagates(self):
+        call, _ = scripted({"w0": (0.2, "ok"), "w1": ValueError("bad")})
+        with pytest.raises(ValueError):
+            run(call_with_failover(["w0", "w1"], call, hedge_delay=0.001))

@@ -1,0 +1,89 @@
+"""HashRing: determinism, replica sets, and minimal churn on membership."""
+
+import pytest
+
+from repro.cluster.placement import HashRing
+
+KEYS = [f"spec{i}@1" for i in range(200)] + [f"inline:{i:016x}" for i in range(50)]
+
+
+class TestDeterminism:
+    def test_same_key_same_replicas(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=2)
+        for key in KEYS:
+            assert ring.replicas_for(key) == ring.replicas_for(key)
+
+    def test_placement_is_stable_across_instances(self):
+        # Two independently built rings (insertion order shuffled) agree —
+        # the chaos tests compute a key's primary from another process.
+        a = HashRing(["w0", "w1", "w2", "w3"], replicas=2)
+        b = HashRing(["w3", "w1", "w0", "w2"], replicas=2)
+        for key in KEYS:
+            assert a.replicas_for(key) == b.replicas_for(key)
+
+    def test_replicas_are_distinct_primary_first(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"], replicas=3)
+        for key in KEYS:
+            replicas = ring.replicas_for(key)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert replicas[0] == ring.primary_for(key)
+
+
+class TestMembership:
+    def test_fewer_workers_than_replicas(self):
+        ring = HashRing(["w0"], replicas=3)
+        assert ring.replicas_for("orders@1") == ("w0",)
+
+    def test_empty_ring(self):
+        ring = HashRing(replicas=2)
+        assert ring.replicas_for("orders@1") == ()
+        with pytest.raises(ValueError):
+            ring.primary_for("orders@1")
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["w0", "w1"], replicas=2)
+        ring.add("w0")
+        assert ring.workers == ("w0", "w1")
+        ring.remove("w1")
+        ring.remove("w1")
+        assert ring.workers == ("w0",)
+        assert len(ring) == 1
+        assert "w0" in ring and "w1" not in ring
+
+    def test_removal_moves_only_departed_workers_keys(self):
+        # Consistent hashing's point: dropping one worker must not
+        # reshuffle keys between the survivors.
+        ring = HashRing(["w0", "w1", "w2", "w3"], replicas=1)
+        before = {key: ring.primary_for(key) for key in KEYS}
+        ring.remove("w2")
+        for key, owner in before.items():
+            if owner != "w2":
+                assert ring.primary_for(key) == owner
+            else:
+                assert ring.primary_for(key) != "w2"
+
+    def test_readding_restores_placement(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=2)
+        before = {key: ring.replicas_for(key) for key in KEYS}
+        ring.remove("w1")
+        ring.add("w1")
+        assert all(ring.replicas_for(k) == v for k, v in before.items())
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing([f"w{i}" for i in range(4)], replicas=1)
+        counts = {w: 0 for w in ring.workers}
+        for i in range(2000):
+            counts[ring.primary_for(f"key{i}@1")] += 1
+        # 64 vnodes/worker keeps every worker within a loose factor of
+        # the mean (500); the property that matters is no starved worker.
+        assert min(counts.values()) > 200
+        assert max(counts.values()) < 900
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)

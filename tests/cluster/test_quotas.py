@@ -1,0 +1,81 @@
+"""AdmissionController: guarantees, bursting, and fair shedding."""
+
+import pytest
+
+from repro.cluster.quotas import AdmissionController, TenantQuotaExceededError
+
+
+class TestGuarantees:
+    def test_under_guarantee_always_admitted(self):
+        controller = AdmissionController(10, default_share=4)
+        # A burster fills total capacity...
+        controller.admit("big", 10)
+        # ...but a tenant under its guarantee still gets in (the bounded
+        # overshoot is the price of unconditional guarantees).
+        controller.admit("small", 4)
+        assert controller.usage_of("small") == 4
+        assert controller.total_in_flight == 14
+
+    def test_over_guarantee_sheds_at_capacity(self):
+        controller = AdmissionController(10, default_share=4)
+        controller.admit("big", 10)
+        with pytest.raises(TenantQuotaExceededError) as info:
+            controller.admit("big", 1)
+        assert info.value.tenant == "big"
+        assert controller.shed == 1
+
+    def test_burst_into_idle_capacity(self):
+        # Work-conserving: free capacity is usable beyond the guarantee.
+        controller = AdmissionController(10, default_share=2)
+        for _ in range(10):
+            controller.admit("only", 1)
+        assert controller.usage_of("only") == 10
+        with pytest.raises(TenantQuotaExceededError):
+            controller.admit("only", 1)
+
+    def test_per_tenant_shares_override_default(self):
+        controller = AdmissionController(10, default_share=1,
+                                         shares={"gold": 8})
+        controller.admit("filler", 10)
+        controller.admit("gold", 8)
+        with pytest.raises(TenantQuotaExceededError):
+            controller.admit("bronze", 2)
+
+
+class TestAccounting:
+    def test_release_frees_capacity(self):
+        controller = AdmissionController(4, default_share=1)
+        controller.admit("a", 4)
+        with pytest.raises(TenantQuotaExceededError):
+            controller.admit("b", 2)
+        controller.release("a", 4)
+        controller.admit("b", 2)
+        assert controller.usage_of("a") == 0
+        assert controller.total_in_flight == 2
+
+    def test_none_tenant_maps_to_default_namespace(self):
+        controller = AdmissionController(4, default_share=4)
+        controller.admit(None, 2)
+        assert controller.usage_of(None) == 2
+        controller.release(None, 2)
+        assert controller.total_in_flight == 0
+
+    def test_snapshot(self):
+        controller = AdmissionController(8, default_share=2)
+        controller.admit("a", 2)
+        snap = controller.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["in_flight"] == 2
+        assert snap["tenants"]["a"] == {"usage": 2, "share": 2}
+        assert snap["admitted"] == 1 and snap["shed"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, default_share=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(4, shares={"a": -1})
+        controller = AdmissionController(4)
+        with pytest.raises(ValueError):
+            controller.admit("a", 0)

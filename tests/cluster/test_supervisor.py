@@ -1,0 +1,290 @@
+"""WorkerSupervisor: scripted fakes on a VirtualClock.
+
+Every timing branch — backoff growth, flap detection, the circuit
+breaker's open → half-open → closed walk — is driven deterministically:
+tests call :meth:`~repro.cluster.supervisor.WorkerSupervisor.check_once`
+by hand and advance the clock, so no wall-clock races.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.supervisor import CircuitBreaker, WorkerSupervisor
+from repro.cluster.worker import WorkerError, WorkerUnavailableError
+from repro.core.resilience import RetryPolicy, VirtualClock
+
+
+class FakeWorker:
+    """A scripted worker: tests flip ``alive`` and ``start_fails``."""
+
+    def __init__(self, worker_id, start_fails=0):
+        self.worker_id = worker_id
+        self.alive = False
+        self.start_fails = start_fails  # consume N failures before starting
+        self.started = 0
+        self.stopped = 0
+
+    @property
+    def running(self):
+        return self.alive
+
+    async def start(self):
+        if self.start_fails > 0:
+            self.start_fails -= 1
+            raise WorkerError(f"{self.worker_id} refused to start")
+        self.alive = True
+        self.started += 1
+        return "127.0.0.1", 1
+
+    async def stop(self, timeout=10.0):
+        self.alive = False
+        self.stopped += 1
+
+    def kill(self):
+        self.alive = False
+
+    async def healthz(self, timeout=5.0):
+        if not self.alive:
+            raise WorkerUnavailableError(self.worker_id, "dead")
+        return {"status": "ok"}
+
+
+def make_supervisor(workers, clock=None, **kwargs):
+    clock = clock or VirtualClock()
+    kwargs.setdefault(
+        "restart_policy",
+        RetryPolicy(max_attempts=1000, base_delay=1.0, multiplier=2.0,
+                    max_delay=60.0),
+    )
+    kwargs.setdefault("seed", 7)
+    return WorkerSupervisor(workers, clock=clock, **kwargs), clock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRestart:
+    def test_crash_is_detected_and_restarted_after_backoff(self):
+        async def scenario():
+            worker = FakeWorker("w0")
+            sup, clock = make_supervisor([worker], flap_window=0.0)
+            await sup.start()
+            assert sup.healthy_workers() == ("w0",)
+
+            worker.alive = False  # crash
+            await sup.check_once()
+            assert sup.healthy_workers() == ()
+            state = sup.state_of("w0")
+            assert state.next_restart_at is not None
+
+            # Before the backoff elapses nothing happens.
+            await sup.check_once()
+            assert not state.healthy
+
+            clock.advance(state.next_restart_at - clock.now())
+            await sup.check_once()
+            assert state.healthy
+            assert state.restarts == 1
+            assert worker.started == 2
+
+        run(scenario())
+
+    def test_backoff_grows_exponentially_on_failed_restarts(self):
+        async def scenario():
+            worker = FakeWorker("w0", start_fails=10)
+            sup, clock = make_supervisor(
+                [worker],
+                restart_policy=RetryPolicy(max_attempts=1000, base_delay=1.0,
+                                           multiplier=2.0, max_delay=60.0),
+                breaker_threshold=100,  # keep the breaker out of this test
+            )
+            await sup.start()  # first start fails -> scheduled
+            state = sup.state_of("w0")
+            delays = []
+            for _ in range(4):
+                due = state.next_restart_at
+                delays.append(due - clock.now())
+                clock.advance(due - clock.now())
+                await sup.check_once()  # each restart attempt fails again
+            assert delays == [1.0, 2.0, 4.0, 8.0]
+
+        run(scenario())
+
+    def test_jitter_spreads_restarts(self):
+        async def scenario():
+            workers = [FakeWorker(f"w{i}", start_fails=10) for i in range(4)]
+            sup, clock = make_supervisor(
+                workers,
+                restart_policy=RetryPolicy(max_attempts=1000, base_delay=1.0,
+                                           jitter=0.5),
+                breaker_threshold=100,
+            )
+            await sup.start()
+            dues = {sup.state_of(w.worker_id).next_restart_at
+                    for w in workers}
+            # Seeded jitter: the fleet does not restart in lockstep.
+            assert len(dues) == 4
+            assert all(0.5 <= due <= 1.5 for due in dues)
+
+        run(scenario())
+
+    def test_callbacks_fire_on_transitions(self):
+        async def scenario():
+            worker = FakeWorker("w0")
+            events = []
+            sup, clock = make_supervisor(
+                [worker], flap_window=0.0,
+                on_up=lambda w: events.append(("up", w)),
+                on_down=lambda w: events.append(("down", w)),
+            )
+            await sup.start()
+            worker.alive = False
+            await sup.check_once()
+            clock.advance(10.0)
+            await sup.check_once()
+            assert events == [("up", "w0"), ("down", "w0"), ("up", "w0")]
+
+        run(scenario())
+
+    def test_report_failure_acts_like_failed_probe(self):
+        async def scenario():
+            worker = FakeWorker("w0")
+            sup, clock = make_supervisor([worker], flap_window=0.0)
+            await sup.start()
+            worker.alive = False
+            sup.report_failure("w0")  # the router saw the crash first
+            assert sup.healthy_workers() == ()
+            sup.report_failure("w0")  # idempotent on a down worker
+            assert sup.state_of("w0").next_restart_at is not None
+
+        run(scenario())
+
+
+class TestCircuitBreaker:
+    def test_unit_walk(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0,
+                                 clock=clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_failure()  # probe failed: open again, full timeout
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+
+    def test_flapping_worker_trips_breaker_and_recovers(self):
+        async def scenario():
+            worker = FakeWorker("w0")
+            sup, clock = make_supervisor(
+                [worker],
+                restart_policy=RetryPolicy(max_attempts=1000, base_delay=1.0),
+                breaker_threshold=3, breaker_reset=100.0, flap_window=5.0,
+            )
+            await sup.start()
+            state = sup.state_of("w0")
+
+            # Three fast crashes (each within the flap window of its start).
+            for _ in range(3):
+                clock.advance(0.5)
+                worker.alive = False
+                await sup.check_once()  # detect flap
+                if state.breaker.state == "open":
+                    break
+                clock.advance(state.next_restart_at - clock.now())
+                await sup.check_once()  # restart
+            assert state.breaker.state == "open"
+
+            # While open, due restarts are suppressed.
+            clock.advance(50.0)
+            await sup.check_once()
+            assert not state.healthy
+            started_before = worker.started
+
+            # After the reset timeout, one half-open probe restart goes out.
+            clock.advance(50.0)
+            await sup.check_once()
+            assert worker.started == started_before + 1
+            assert state.healthy
+            assert state.breaker.state == "half_open"
+
+            # Sustained uptime past the flap window closes the breaker.
+            clock.advance(5.0)
+            await sup.check_once()
+            assert state.breaker.state == "closed"
+
+        run(scenario())
+
+    def test_slow_crashes_do_not_trip_breaker(self):
+        async def scenario():
+            worker = FakeWorker("w0")
+            sup, clock = make_supervisor(
+                [worker], breaker_threshold=2, flap_window=5.0,
+            )
+            await sup.start()
+            state = sup.state_of("w0")
+            for _ in range(5):
+                clock.advance(60.0)  # honest uptime before each crash
+                worker.alive = False
+                await sup.check_once()
+                clock.advance(state.next_restart_at - clock.now())
+                await sup.check_once()
+            assert state.breaker.state == "closed"
+            assert state.healthy
+
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_stop_terminates_workers(self):
+        async def scenario():
+            workers = [FakeWorker("w0"), FakeWorker("w1")]
+            sup, clock = make_supervisor(workers)
+            await sup.start()
+            await sup.stop()
+            assert all(w.stopped == 1 for w in workers)
+            assert sup.healthy_workers() == ()
+
+        run(scenario())
+
+    def test_status_snapshot(self):
+        async def scenario():
+            sup, clock = make_supervisor([FakeWorker("w0")])
+            await sup.start()
+            (snap,) = sup.status()
+            assert snap["worker"] == "w0"
+            assert snap["healthy"] and snap["running"]
+            assert snap["breaker"]["state"] == "closed"
+
+        run(scenario())
+
+    def test_failed_initial_start_enters_restart_loop(self):
+        async def scenario():
+            worker = FakeWorker("w0", start_fails=1)
+            sup, clock = make_supervisor([worker], flap_window=0.0)
+            await sup.start()
+            assert sup.healthy_workers() == ()
+            state = sup.state_of("w0")
+            clock.advance(state.next_restart_at - clock.now())
+            await sup.check_once()
+            assert state.healthy
+
+        run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor([], health_interval=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1)

@@ -49,6 +49,47 @@ class TestRetryPolicy:
         assert [round(policy.delay(a), 3) for a in (1, 2, 3, 4)] == [
             0.1, 0.2, 0.3, 0.3]
 
+    def test_jitter_spreads_delays_within_envelope(self):
+        import random
+
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0,
+                             multiplier=1.0, jitter=0.5)
+        rng = random.Random(42)
+        delays = [policy.delay(1, rng) for _ in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        # It actually spreads — a fleet restarting in lockstep must not
+        # all land on the same instant.
+        assert max(delays) - min(delays) > 0.5
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        import random
+
+        policy = RetryPolicy(max_attempts=3, base_delay=2.0, jitter=0.3)
+        assert ([policy.delay(1, random.Random(7)) for _ in range(3)]
+                == [policy.delay(1, random.Random(7)) for _ in range(3)])
+
+    def test_no_rng_means_exact_unjittered_delay(self):
+        # Replay determinism: engines that do not opt in get the exact
+        # deterministic backoff even on a jittered policy.
+        policy = RetryPolicy(max_attempts=3, base_delay=0.4, jitter=0.9)
+        assert policy.delay(1) == 0.4
+        assert policy.delay(1, None) == 0.4
+
+    def test_jitter_applies_after_the_cap(self):
+        import random
+
+        policy = RetryPolicy(max_attempts=9, base_delay=100.0,
+                             multiplier=2.0, max_delay=1.0, jitter=0.5)
+        rng = random.Random(3)
+        delays = [policy.delay(8, rng) for _ in range(100)]
+        # Capped to 1.0 first, then jittered: never beyond cap * (1 + j).
+        assert all(0.5 <= d <= 1.5 for d in delays)
+
+    def test_jitter_roundtrips_through_dict(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1,
+                             multiplier=2.0, jitter=0.25)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
     def test_timeout_forces_snapshotting(self):
         assert RetryPolicy(timeout=1.0).needs_attempt_snapshot
         assert RetryPolicy(max_attempts=2).needs_attempt_snapshot
@@ -61,6 +102,8 @@ class TestRetryPolicy:
             {"multiplier": 0},
             {"max_delay": -0.5},
             {"timeout": 0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
         ],
     )
     def test_validation(self, kwargs):

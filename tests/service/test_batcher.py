@@ -228,6 +228,114 @@ class TestDeadlines:
         assert run(scenario())[0].holds
 
 
+class TestExpirySweep:
+    """Deadline expiry must not wait for a dispatch to happen to look.
+
+    Regression: before the sweeper, a request whose deadline passed while
+    the coalescing window was idle (or the queue parked behind a long
+    batch) only learned its fate at the *next* dispatch — potentially
+    never. The sweep delivers the 504 promptly.
+    """
+
+    def test_sweep_expired_by_hand_on_virtual_clock(self):
+        async def scenario():
+            clock = VirtualClock()
+            batcher, entry = make_batcher(clock=clock)
+            waiter = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked"),
+                               deadline=5.0))
+            await asyncio.sleep(0)
+            assert batcher.depth == 1
+            clock.advance(6.0)
+            expired = batcher.sweep_expired()
+            result = await asyncio.gather(waiter, return_exceptions=True)
+            return batcher, expired, result
+
+        batcher, expired, (result,) = run(scenario())
+        assert expired == 1
+        assert isinstance(result, DeadlineExceededError)
+        # The swept request no longer occupies queue depth or a group.
+        assert batcher.depth == 0
+        assert not batcher._pending
+
+    def test_sweep_task_delivers_504_while_window_is_idle(self):
+        async def scenario():
+            clock = VirtualClock()
+            # A pathological coalescing window: dispatch would only look
+            # at this request a minute from now. The sweeper must not
+            # let the deadline wait for it.
+            batcher, entry = make_batcher(
+                clock=clock, batch_window=60.0, expiry_interval=0.01,
+            )
+            batcher.start()
+            waiter = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked"),
+                               deadline=5.0))
+            await asyncio.sleep(0)
+            clock.advance(6.0)  # deadline passes on the injectable clock
+            # Await the verdict with a *wall-clock* bound far below the
+            # batch window: only the sweep task can deliver it.
+            result = await asyncio.wait_for(
+                asyncio.gather(waiter, return_exceptions=True), timeout=5.0
+            )
+            await batcher.aclose()
+            return result
+
+        (result,) = run(scenario())
+        assert isinstance(result, DeadlineExceededError)
+
+    def test_sweep_leaves_live_requests_queued(self):
+        async def scenario():
+            clock = VirtualClock()
+            batcher, entry = make_batcher(clock=clock)
+            doomed = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked"),
+                               deadline=2.0))
+            alive = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "backwards"),
+                               deadline=100.0))
+            await asyncio.sleep(0)
+            clock.advance(3.0)
+            assert batcher.sweep_expired() == 1
+            assert batcher.depth == 1
+            await batcher.flush()
+            return (
+                await asyncio.gather(doomed, return_exceptions=True),
+                await alive,
+            )
+
+        (doomed,), alive = run(scenario())
+        assert isinstance(doomed, DeadlineExceededError)
+        assert alive[0].holds is False  # "backwards" got its real verdict
+
+    def test_swept_requests_free_admission_capacity(self):
+        async def scenario():
+            clock = VirtualClock()
+            batcher, entry = make_batcher(clock=clock, queue_limit=2)
+            stuck = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked", "backwards"),
+                               deadline=1.0))
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await batcher.submit(entry, props_of(entry, "checked"))
+            clock.advance(2.0)
+            batcher.sweep_expired()
+            # The expired request's cost was returned to the queue budget.
+            fresh = asyncio.ensure_future(
+                batcher.submit(entry, props_of(entry, "checked")))
+            await asyncio.sleep(0)
+            await batcher.flush()
+            await asyncio.gather(stuck, return_exceptions=True)
+            return await fresh
+
+        fresh = run(scenario())
+        assert fresh[0].holds
+
+    def test_expiry_interval_validation(self):
+        with pytest.raises(ValueError):
+            make_batcher(expiry_interval=0)
+
+
 class TestDraining:
     def test_aclose_completes_accepted_work(self):
         async def scenario():

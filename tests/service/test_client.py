@@ -1,0 +1,188 @@
+"""ServiceClient retry semantics against scripted sockets.
+
+The contract under test: a request is re-sent only when it is provably
+safe — the connection failed before any bytes reached the server, or the
+endpoint is idempotent. A non-idempotent ``POST /specs`` that dies after
+bytes went out must surface the failure, never silently re-execute.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ScriptedServer:
+    """Accepts connections and runs one scripted behavior per connection.
+
+    Behaviors: ``"reset"`` closes the connection as soon as the request
+    arrives (bytes went out, no response); ``"ok"`` answers 200 JSON.
+    """
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.requests = []
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        for behavior in self.behaviors:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                # Read the body if a content-length was announced.
+                if b"content-length" in data.lower():
+                    head, _, tail = data.partition(b"\r\n\r\n")
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length"):
+                            length = int(line.split(b":")[1])
+                            while len(tail) < length:
+                                tail += conn.recv(4096)
+                self.requests.append(data)
+                if behavior == "ok":
+                    payload = json.dumps({"ok": True}).encode()
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(payload)).encode() +
+                        b"\r\nConnection: close\r\n\r\n" + payload
+                    )
+                # "reset": fall out of the with-block -> RST/close mid-request
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+
+class TestConnectFailures:
+    def test_connect_refused_is_retried_with_backoff(self):
+        # Nothing listens on this port: every attempt fails to connect.
+        port = free_port()
+        client = ServiceClient("127.0.0.1", port, timeout=1.0,
+                               retries=3, backoff=0.01, seed=5)
+        sleeps = []
+        client._sleep = sleeps.append
+        with pytest.raises(OSError):
+            client.healthz()
+        # 1 try + 3 retries, a backoff sleep between each pair.
+        assert len(sleeps) == 3
+        # Exponential base with jitter in [0.5, 1.0] of each step.
+        for i, slept in enumerate(sleeps):
+            step = 0.01 * (2 ** i)
+            assert 0.5 * step <= slept <= step
+
+    def test_connect_failure_retries_even_non_idempotent_posts(self):
+        # A connect failure means zero bytes reached any server: safe to
+        # retry regardless of endpoint semantics.
+        port = free_port()
+        client = ServiceClient("127.0.0.1", port, timeout=1.0,
+                               retries=2, backoff=0)
+        attempts = []
+        original = client._connection
+
+        def counting():
+            attempts.append(1)
+            return original()
+
+        client._connection = counting
+        with pytest.raises(OSError):
+            client.register("orders", "goal: a")
+        assert len(attempts) == 3
+
+    def test_retries_zero_fails_fast(self):
+        port = free_port()
+        client = ServiceClient("127.0.0.1", port, timeout=1.0,
+                               retries=0, backoff=0.01)
+        sleeps = []
+        client._sleep = sleeps.append
+        with pytest.raises(OSError):
+            client.healthz()
+        assert sleeps == []
+
+
+class TestMidRequestFailures:
+    def test_idempotent_post_is_retried_after_reset(self):
+        server = ScriptedServer(["reset", "ok"])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5.0,
+                                   retries=2, backoff=0)
+            out = client._request("POST", "/verify", {"text": "goal: a"},
+                                  idempotent=True)
+            assert out == {"ok": True}
+            assert len(server.requests) == 2  # first died, second re-sent
+        finally:
+            server.close()
+
+    def test_non_idempotent_post_is_not_retried_after_reset(self):
+        server = ScriptedServer(["reset", "ok"])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5.0,
+                                   retries=5, backoff=0)
+            with pytest.raises(Exception):
+                client.register("orders", "goal: a")
+            # The request went out once and was never re-sent: the server
+            # may already have executed it.
+            assert len(server.requests) == 1
+        finally:
+            server.close()
+
+    def test_get_is_idempotent_by_default(self):
+        server = ScriptedServer(["reset", "ok"])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5.0,
+                                   retries=1, backoff=0)
+            assert client._request("GET", "/healthz") == {"ok": True}
+            assert len(server.requests) == 2
+        finally:
+            server.close()
+
+
+class TestTenantHeader:
+    def test_tenant_header_is_sent(self):
+        server = ScriptedServer(["ok"])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5.0,
+                                   tenant="acme")
+            client.healthz()
+            assert b"X-Repro-Tenant: acme" in server.requests[0]
+        finally:
+            server.close()
+
+    def test_no_header_without_tenant(self):
+        server = ScriptedServer(["ok"])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5.0)
+            client.healthz()
+            assert b"X-Repro-Tenant" not in server.requests[0]
+        finally:
+            server.close()
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ServiceClient("h", 1, retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient("h", 1, backoff=-0.1)

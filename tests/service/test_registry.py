@@ -170,6 +170,124 @@ class TestHotReload:
         assert registry.get("orders") is entry
 
 
+class TestDirectoryVanish:
+    """Hot reload survives the specs directory itself disappearing —
+    a deploy mid-swap or an unmounted volume must not take the daemon
+    down with it."""
+
+    def _write(self, path, text, mtime):
+        path.write_text(text)
+        os.utime(path, (mtime, mtime))
+
+    def test_deleted_directory_keeps_serving_last_good(self, tmp_path):
+        import shutil
+
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write(specs / "orders.workflow", ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=specs)
+        entry = registry.get("orders")
+        shutil.rmtree(specs)
+        # Lookups still answer from the last good parse...
+        assert registry.get("orders") is entry
+        # ...and a rescan reports nothing rather than raising.
+        assert registry.load_directory() == []
+        assert registry._dir_missing is True
+
+    def test_recreated_directory_resumes_hot_reload(self, tmp_path):
+        import shutil
+
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write(specs / "orders.workflow", ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=specs)
+        assert registry.get("orders").version == 1
+        shutil.rmtree(specs)
+        registry.load_directory()
+        assert registry._dir_missing is True
+        # The volume comes back with updated content: reload picks it up.
+        specs.mkdir()
+        self._write(specs / "orders.workflow", ORDERS_V2, 200.0)
+        assert registry.load_directory() == ["orders"]
+        assert registry._dir_missing is False
+        assert registry.get("orders").version == 2
+
+    def test_vanish_is_logged_once_not_per_lookup(self, tmp_path, caplog):
+        import logging
+        import shutil
+
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write(specs / "orders.workflow", ORDERS_V1, 100.0)
+        registry = SpecRegistry(specs_dir=specs)
+        registry.get("orders")
+        shutil.rmtree(specs)
+        with caplog.at_level(logging.WARNING, logger="repro.service.registry"):
+            for _ in range(5):
+                registry.get("orders")
+        assert sum("vanished" in r.message for r in caplog.records) == 1
+
+    def test_startup_with_missing_directory_is_tolerated(self, tmp_path):
+        registry = SpecRegistry(specs_dir=tmp_path / "never-created")
+        assert registry.load_directory() == []
+        with pytest.raises(UnknownSpecError):
+            registry.get("orders")
+
+
+class TestTenantView:
+    def test_registrations_are_scoped(self):
+        registry = SpecRegistry()
+        acme = registry.namespaced("acme")
+        rival = registry.namespaced("rival")
+        entry = acme.register("orders", ORDERS_V1)
+        assert entry.name == "acme::orders"
+        assert acme.get("orders") is entry
+        assert "orders" in acme
+        assert "orders" not in rival
+        with pytest.raises(UnknownSpecError):
+            rival.get("orders")
+
+    def test_shared_catalog_fallback(self):
+        registry = SpecRegistry()
+        shared = registry.register("orders", ORDERS_V1)
+        acme = registry.namespaced("acme")
+        # No tenant-scoped entry: the unprefixed catalog answers.
+        assert acme.get("orders") is shared
+        assert acme.names() == ["orders"]
+        # A tenant registration shadows the shared entry for that tenant.
+        own = acme.register("orders", ORDERS_V2)
+        assert acme.get("orders") is own
+        assert registry.namespaced("rival").get("orders") is shared
+
+    def test_separator_in_name_cannot_escape_namespace(self):
+        registry = SpecRegistry()
+        registry.namespaced("other").register("secret", ORDERS_V1)
+        acme = registry.namespaced("acme")
+        with pytest.raises(UnknownSpecError):
+            acme.get("other::secret")
+        assert "other::secret" not in acme
+        assert acme.names() == []
+
+    def test_public_name_strips_only_own_prefix(self):
+        registry = SpecRegistry()
+        acme = registry.namespaced("acme")
+        own = acme.register("orders", ORDERS_V1)
+        assert acme.public_name(own) == "orders"
+        shared = registry.register("claims", ORDERS_V1)
+        assert acme.public_name(shared) == "claims"
+
+    def test_tenant_name_validation(self):
+        registry = SpecRegistry()
+        with pytest.raises(ValueError):
+            registry.namespaced("a::b")
+
+    def test_inline_memo_is_shared_across_tenants(self):
+        registry = SpecRegistry()
+        a = registry.namespaced("acme").resolve_inline("goal: a * b\n")
+        b = registry.namespaced("rival").resolve_inline("goal: a * b\n")
+        assert a is b  # identical text, identical work
+
+
 class TestInline:
     def test_identical_text_resolves_to_identical_entry(self):
         registry = SpecRegistry()
