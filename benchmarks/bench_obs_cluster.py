@@ -1,0 +1,255 @@
+"""OC: fleet observability — tracing overhead, federation exactness.
+
+Workload: sequential verifies of one registered spec through a
+2-worker/2-replica cluster of real subprocess workers, with distributed
+tracing either off or on end to end (router + workers + trace sink).
+The per-request cost is dominated by the HTTP round trip and the
+worker's batch window — identical in both modes — so the measured delta
+isolates what tracing itself adds (header minting/parsing, span
+bookkeeping, contextvars).
+
+Three gates:
+
+* **OC1** — *tracing is affordable*: the traced cluster's best-round
+  wall time stays within 5% of the untraced cluster's. Observability
+  that taxes the hot path does not get turned on in production.
+* **OC2** — *federation is bookkeeping, not estimation*: the counter
+  and histogram totals on ``/cluster/metrics`` equal the sum of the
+  per-worker scrapes **exactly** (recomputed here from the same
+  response), bit for bit.
+* **OC3** — *traces reassemble*: a traced request's spans, collected
+  fleet-wide, form a single tree rooted at the router with the serving
+  worker's segment beneath it.
+
+Saved machine-readably as ``results/BENCH_obs_cluster.json`` (CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import RESULTS_DIR, save_table
+
+from repro.analysis.metrics import render_table
+from repro.cluster import cluster_in_thread
+from repro.obs.context import IdSource
+from repro.obs.distributed import assemble
+from repro.obs.metrics import sum_scrapes
+
+N_PAIRS = 3
+REQUESTS = 25        # per timing round
+ROUNDS = 5           # best-of rounds per mode per pass
+PASSES = 3           # fresh cluster instantiations (early exit on pass)
+OVERHEAD_BUDGET = 0.05
+
+_RESULTS: dict | None = None
+
+
+def _spec_text() -> str:
+    names = [(f"a{i}", f"b{i}") for i in range(N_PAIRS)]
+    lines = ["goal: " + " * ".join(f"({a} | {b})" for a, b in names)]
+    for a, b in names:
+        lines.append(f"constraint: precedes({a}, {b}) or precedes({b}, {a})")
+    for i, (a, b) in enumerate(names):
+        lines.append(f"property p{i}: precedes({a}, {b}) "
+                     f"or precedes({b}, {a})")
+    return "\n".join(lines) + "\n"
+
+
+def _one_round(client) -> float:
+    start = time.perf_counter()
+    for _ in range(REQUESTS):
+        client.verify(spec="bench")
+    return time.perf_counter() - start
+
+
+def _overhead_pass(tmp_dir) -> tuple[float, float]:
+    """One interleaved timing pass: both clusters alive at once, rounds
+    alternating between them, so machine-load drift hits both modes
+    equally and the best-of delta isolates tracing itself."""
+    plain = cluster_in_thread(workers=2, replicas=2)
+    traced = cluster_in_thread(workers=2, replicas=2, tracing=True,
+                               ids_seed=42, trace_dir=tmp_dir)
+    try:
+        with plain.client() as plain_client, \
+                traced.client(ids=IdSource(seed=99)) as traced_client:
+            for client in (plain_client, traced_client):
+                client.register("bench", _spec_text())
+                client.verify(spec="bench")  # warm the compile memo
+            plain_s, traced_s = float("inf"), float("inf")
+            for _ in range(ROUNDS):
+                plain_s = min(plain_s, _one_round(plain_client))
+                traced_s = min(traced_s, _one_round(traced_client))
+    finally:
+        traced.stop()
+        plain.stop()
+    return plain_s, traced_s
+
+
+def _overhead_phase(tmp_dir) -> dict:
+    """OC1: the same workload, tracing off vs on end to end.
+
+    Minima are taken across whole cluster instantiations as well as
+    rounds: which cores the OS hands a worker subprocess is luck that
+    lasts the process's lifetime, so a single instantiation can pin the
+    traced fleet to a busy core for every round. A pass is retried (up
+    to ``PASSES``) only while the measured overhead still exceeds the
+    budget — the minimum over honest measurements of both modes.
+    """
+    plain_s, traced_s = float("inf"), float("inf")
+    passes = 0
+    for _ in range(PASSES):
+        pass_plain, pass_traced = _overhead_pass(tmp_dir)
+        plain_s = min(plain_s, pass_plain)
+        traced_s = min(traced_s, pass_traced)
+        passes += 1
+        if traced_s / plain_s - 1.0 <= OVERHEAD_BUDGET:
+            break
+
+    return {
+        "passes": passes,
+        "requests_per_round": REQUESTS,
+        "rounds": ROUNDS,
+        "plain_s": round(plain_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead": round(traced_s / plain_s - 1.0, 4),
+        "budget": OVERHEAD_BUDGET,
+    }
+
+
+def _federation_phase(tmp_dir) -> dict:
+    """OC2 + OC3 on one traced cluster: exact totals, assembled trace."""
+    handle = cluster_in_thread(workers=2, replicas=2, tracing=True,
+                               ids_seed=7, trace_dir=tmp_dir)
+    try:
+        client = handle.client(ids=IdSource(seed=11))
+        try:
+            client.register("bench", _spec_text())
+            for _ in range(5):
+                client.verify(spec="bench")
+            trace_id = client.last_trace_id
+            federated = client.cluster_metrics(format="json")
+            prometheus = client.cluster_metrics()
+            deadline = time.monotonic() + 10.0
+            spans = []
+            while time.monotonic() < deadline:
+                spans = client.trace(trace_id)["spans"]
+                if any(s["segment"] != "router" for s in spans):
+                    break
+                time.sleep(0.05)
+        finally:
+            client.close()
+    finally:
+        handle.stop()
+
+    recomputed = sum_scrapes(federated["workers"])
+    roots = assemble(spans)
+    segments = sorted({s["segment"] for s in spans})
+    return {
+        "workers_scraped": sorted(federated["workers"]),
+        "counters_federated": len(federated["totals"].get("counters", {})),
+        "totals_exact": federated["totals"] == recomputed,
+        "prometheus_has_worker_labels": 'worker="w0"' in prometheus,
+        "trace_segments": segments,
+        "trace_roots": len(roots),
+        "root_segment": roots[0]["segment"] if roots else None,
+    }
+
+
+def _measure(tmp_dir) -> dict:
+    global _RESULTS
+    if _RESULTS is not None:
+        return _RESULTS
+
+    overhead = _overhead_phase(tmp_dir)
+    federation = _federation_phase(tmp_dir)
+
+    _RESULTS = {
+        "benchmark": "obs_cluster",
+        "workload": (
+            f"{N_PAIRS} concurrent event pairs, {N_PAIRS} properties per "
+            f"request; {REQUESTS} sequential verifies x {ROUNDS} rounds "
+            "(best-of) through 2 workers x 2 replicas; warm compile memo"
+        ),
+        "overhead": overhead,
+        "federation": federation,
+        "gates": {
+            "tracing_overhead_within_5pct": (
+                overhead["overhead"] <= OVERHEAD_BUDGET
+            ),
+            "federated_totals_exact": federation["totals_exact"],
+            "distributed_trace_assembles": (
+                federation["trace_roots"] == 1
+                and federation["root_segment"] == "router"
+                and len(federation["trace_segments"]) >= 2
+            ),
+        },
+    }
+    return _RESULTS
+
+
+def test_oc1_tracing_overhead_within_budget(tmp_path_factory, benchmark):
+    results = _measure(tmp_path_factory.mktemp("traces"))
+    overhead = results["overhead"]
+    assert results["gates"]["tracing_overhead_within_5pct"], (
+        f"tracing added {overhead['overhead']:.1%} to the cluster path "
+        f"(budget {OVERHEAD_BUDGET:.0%}): {overhead['plain_s']}s -> "
+        f"{overhead['traced_s']}s"
+    )
+
+    from repro.obs.context import TraceContext, format_trace_header, \
+        parse_trace_header
+
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    benchmark(lambda: parse_trace_header(format_trace_header(ctx)))
+
+    federation = results["federation"]
+    rows = [
+        ["tracing overhead", f"{overhead['overhead']:+.1%}",
+         f"budget {OVERHEAD_BUDGET:.0%}"],
+        ["federated totals",
+         "exact" if federation["totals_exact"] else "DIVERGED",
+         f"{federation['counters_federated']} counters"],
+        ["trace assembly", f"{federation['trace_roots']} root(s)",
+         " ".join(federation["trace_segments"])],
+    ]
+    save_table(
+        "OC_obs_cluster",
+        render_table(
+            "OC: fleet observability — overhead, federation, assembly",
+            ["phase", "result", "note"],
+            rows,
+            note=(
+                f"{REQUESTS} requests x {ROUNDS} rounds, best-of; "
+                f"plain {overhead['plain_s']}s vs traced "
+                f"{overhead['traced_s']}s."
+            ),
+        ),
+    )
+
+
+def test_oc2_federated_totals_exact(tmp_path_factory):
+    results = _measure(tmp_path_factory.mktemp("traces"))
+    assert results["gates"]["federated_totals_exact"], (
+        "/cluster/metrics totals diverged from the recomputed sum of "
+        "per-worker scrapes"
+    )
+    assert results["federation"]["prometheus_has_worker_labels"]
+
+
+def test_oc3_distributed_trace_assembles(tmp_path_factory):
+    results = _measure(tmp_path_factory.mktemp("traces"))
+    federation = results["federation"]
+    assert results["gates"]["distributed_trace_assembles"], (
+        f"expected one router-rooted tree spanning >=2 segments, got "
+        f"{federation['trace_roots']} root(s) over "
+        f"{federation['trace_segments']}"
+    )
+
+
+def test_oc4_emit_json(tmp_path_factory):
+    results = _measure(tmp_path_factory.mktemp("traces"))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_obs_cluster.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")

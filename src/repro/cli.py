@@ -152,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_CACHE_DIR if set)")
     serve.add_argument("--no-cache", action="store_true",
                        help="serve without a persistent compile cache")
+    serve.add_argument("--tracing", action="store_true",
+                       help="record request spans, exposed on /traces for "
+                            "cross-process assembly")
+    serve.add_argument("--ids-seed", type=int, default=None, metavar="SEED",
+                       help="seed trace/span/request id generation so runs "
+                            "replay deterministically")
 
     cluster = sub.add_parser(
         "cluster", help="run the sharded verification cluster "
@@ -187,6 +193,15 @@ def _build_parser() -> argparse.ArgumentParser:
                               "workers (default: $REPRO_CACHE_DIR if set)")
     cluster.add_argument("--no-cache", action="store_true",
                          help="run without a persistent compile cache")
+    cluster.add_argument("--tracing", action="store_true",
+                         help="propagate trace context to workers and serve "
+                              "assembled cross-process trees on /traces")
+    cluster.add_argument("--trace-dir", metavar="DIR", default=None,
+                         help="persist assembled traces as JSONL under DIR "
+                              "(implies --tracing)")
+    cluster.add_argument("--ids-seed", type=int, default=None, metavar="SEED",
+                         help="seed id generation for replayable traces "
+                              "(worker i uses SEED+1+i)")
 
     trace = sub.add_parser("trace", help="inspect and replay recorded run traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -208,6 +223,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     show = trace_sub.add_parser("show", help="pretty-print a recorded trace")
     show.add_argument("trace_file", metavar="TRACE")
+    show.add_argument("--distributed", action="store_true",
+                      help="render TRACE as a distributed span-segment file "
+                           "(the `trace fetch` / router sink format)")
+
+    fetch = trace_sub.add_parser(
+        "fetch", help="download an assembled distributed trace from a router"
+    )
+    fetch.add_argument("trace_id", metavar="TRACE_ID")
+    fetch.add_argument("--host", default="127.0.0.1",
+                       help="router address (default: 127.0.0.1)")
+    fetch.add_argument("--port", type=int, default=8745,
+                       help="router port (default: 8745)")
+    fetch.add_argument("--output", "-o", metavar="FILE", default=None,
+                       help="write span JSONL to FILE instead of rendering "
+                            "the tree")
 
     diff = trace_sub.add_parser("diff", help="compare two recorded traces")
     diff.add_argument("trace_a", metavar="TRACE_A")
@@ -217,6 +247,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a trace and verify it reproduces"
     )
     replay.add_argument("trace_file", metavar="TRACE")
+
+    top = sub.add_parser(
+        "top", help="live ASCII fleet view of a running cluster router"
+    )
+    top.add_argument("--host", default="127.0.0.1",
+                     help="router address (default: 127.0.0.1)")
+    top.add_argument("--port", type=int, default=8745,
+                     help="router port (default: 8745)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="seconds between refreshes (default: 2)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="refresh N times then exit (default: 0 = run until "
+                          "interrupted)")
     return parser
 
 
@@ -291,13 +334,19 @@ def _cmd_run(spec: Specification, out, args) -> int:
     want_metrics = getattr(args, "metrics", False)
     obs = None
     if trace_path or want_metrics:
-        from .obs import Observability
+        from .obs import IdSource, Observability
 
-        obs = Observability.enabled(trace=bool(trace_path),
-                                    metrics=want_metrics,
-                                    record=bool(trace_path))
+        # Traced runs mint replayable distributed ids seeded by --seed:
+        # `repro trace replay` re-mints the identical span tree.
+        obs = Observability.enabled(
+            trace=bool(trace_path),
+            metrics=want_metrics,
+            record=bool(trace_path),
+            ids=IdSource(seed=args.seed) if trace_path else None,
+        )
 
-    compiled = spec.compile(obs=obs, cache=_cache_from_args(args))
+    cache = _cache_from_args(args)
+    compiled = spec.compile(obs=obs, cache=cache)
     if not compiled.consistent:
         print("inconsistent: nothing to run", file=out)
         return 1
@@ -352,6 +401,14 @@ def _cmd_run(spec: Specification, out, args) -> int:
             "seed": args.seed,
             "strategy": "first",
         }
+        if getattr(obs.tracer, "ids", None) is not None:
+            spans = obs.tracer.spans
+            header["trace_id"] = spans[0].trace_id if spans else None
+            header["ids_seed"] = args.seed
+            # The span tree is replay-checkable only for from-scratch
+            # compiles: a cache hit skips the Apply/Excise spans.
+            if cache is None:
+                header["span_check"] = True
         tail = {
             "schedule": list(report.schedule),
             "digest": report.database.digest(),
@@ -380,9 +437,37 @@ def _cmd_trace(args, out) -> int:
         return _cmd_run(spec, out, args)
 
     if args.trace_command == "show":
+        if getattr(args, "distributed", False):
+            from .obs.distributed import (load_distributed_trace,
+                                          render_distributed)
+
+            spans = load_distributed_trace(args.trace_file)
+            print(render_distributed(spans), file=out)
+            return 0
         with open(args.trace_file, encoding="utf-8") as handle:
             trace = read_trace(handle)
         print(render_trace(trace), file=out)
+        return 0
+
+    if args.trace_command == "fetch":
+        import json
+
+        from .obs.distributed import render_distributed
+        from .service.client import ServiceClient
+
+        client = ServiceClient(args.host, args.port)
+        try:
+            data = client.trace(args.trace_id)
+        finally:
+            client.close()
+        spans = data.get("spans", [])
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for span in spans:
+                    handle.write(json.dumps(span, default=repr) + "\n")
+            print(f"{len(spans)} spans written to {args.output}", file=out)
+        else:
+            print(render_distributed(spans), file=out)
         return 0
 
     if args.trace_command == "diff":
@@ -422,6 +507,16 @@ def _cmd_serve(args, out) -> int:
         from .core.parallel import resolve_jobs
 
         jobs = resolve_jobs(None)
+    obs = None
+    if args.tracing:
+        from .obs import IdSource, Observability
+
+        obs = Observability.enabled(
+            trace=True, metrics=True, record=False,
+            ids=(IdSource(seed=args.ids_seed)
+                 if args.ids_seed is not None else None),
+            segment="service", max_spans=10_000,
+        )
     service = VerificationService(
         specs_dir=args.specs_dir,
         cache=_cache_from_args(args),
@@ -429,6 +524,7 @@ def _cmd_serve(args, out) -> int:
         queue_limit=args.queue_limit,
         batch_window=args.batch_window,
         default_deadline=args.deadline,
+        obs=obs,
     )
 
     async def run() -> None:
@@ -475,20 +571,41 @@ def _cmd_cluster(args, out) -> int:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 1
     cache = _cache_from_args(args)
+    tracing = args.tracing or args.trace_dir is not None
     worker_args = ["--jobs", str(args.jobs)]
     cache_dir = getattr(cache, "directory", None)
     if cache_dir is not None:
         worker_args += ["--cache-dir", str(cache_dir)]
-    handles = [
-        ProcessWorker(f"w{i}", extra_args=tuple(worker_args))
-        for i in range(args.workers)
-    ]
+    if tracing:
+        worker_args.append("--tracing")
+    handles = []
+    for i in range(args.workers):
+        per_worker = list(worker_args)
+        if tracing and args.ids_seed is not None:
+            # Distinct id streams per process: no cross-segment ref
+            # collisions when the router stitches span trees together.
+            per_worker += ["--ids-seed", str(args.ids_seed + 1 + i)]
+        handles.append(ProcessWorker(f"w{i}", extra_args=tuple(per_worker)))
     supervisor = WorkerSupervisor(handles)
     admission = None
     if args.capacity is not None:
         admission = AdmissionController(
             args.capacity, default_share=args.tenant_share
         )
+    obs = None
+    trace_sink = None
+    if tracing:
+        from .obs import IdSource, Observability
+        from .obs.distributed import TraceSink
+
+        obs = Observability.enabled(
+            trace=True, metrics=True, record=False,
+            ids=(IdSource(seed=args.ids_seed)
+                 if args.ids_seed is not None else None),
+            segment="router", max_spans=10_000,
+        )
+        if args.trace_dir is not None:
+            trace_sink = TraceSink(args.trace_dir)
     router = ClusterRouter(
         supervisor,
         specs_dir=args.specs_dir,
@@ -496,6 +613,8 @@ def _cmd_cluster(args, out) -> int:
         replicas=args.replicas,
         hedge_delay=args.hedge_delay,
         admission=admission,
+        obs=obs,
+        trace_sink=trace_sink,
     )
 
     async def run() -> None:
@@ -570,6 +689,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_serve(args, out)
         if args.command == "cluster":
             return _cmd_cluster(args, out)
+        if args.command == "top":
+            from .obs.top import run_top
+
+            return run_top(args.host, args.port, interval=args.interval,
+                           iterations=args.iterations, out=out)
         spec = load_specification(args.spec)
         cache = _cache_from_args(args)
         if args.command == "check":

@@ -44,15 +44,20 @@ class AllReplicasFailedError(ReproError):
 
 async def call_with_failover(replicas, call, *, budget: int | None = None,
                              hedge_delay: float | None = None,
-                             on_failure=None):
+                             on_failure=None, on_hedge=None,
+                             on_hedge_win=None):
     """Run ``await call(worker_id)`` against replicas until one answers.
 
     Returns ``(result, worker_id)`` identifying which replica answered.
     ``budget`` caps total attempts (default: one per replica);
     ``on_failure(worker_id, exc)`` observes each transport failure (the
-    router uses it to tell the supervisor a worker looks dead). Raises
-    :class:`AllReplicasFailedError` when the budget is exhausted, and
-    re-raises non-transport exceptions immediately.
+    router uses it to tell the supervisor a worker looks dead);
+    ``on_hedge(worker_id)`` observes each hedged launch past the primary,
+    and ``on_hedge_win(worker_id)`` fires when such a launch is the one
+    that answered — together they are the hedge win rate on
+    ``/cluster/metrics``. Raises :class:`AllReplicasFailedError` when the
+    budget is exhausted, and re-raises non-transport exceptions
+    immediately.
     """
     targets = list(replicas)
     if budget is not None:
@@ -61,7 +66,8 @@ async def call_with_failover(replicas, call, *, budget: int | None = None,
         raise AllReplicasFailedError((), ())
     if hedge_delay is None or len(targets) == 1:
         return await _sequential(targets, call, on_failure)
-    return await _hedged(targets, call, hedge_delay, on_failure)
+    return await _hedged(targets, call, hedge_delay, on_failure,
+                         on_hedge, on_hedge_win)
 
 
 async def _sequential(targets, call, on_failure):
@@ -76,9 +82,11 @@ async def _sequential(targets, call, on_failure):
     raise AllReplicasFailedError(targets, errors)
 
 
-async def _hedged(targets, call, hedge_delay, on_failure):
+async def _hedged(targets, call, hedge_delay, on_failure,
+                  on_hedge=None, on_hedge_win=None):
     loop = asyncio.get_running_loop()
     owner: dict[asyncio.Task, str] = {}
+    hedged: set[asyncio.Task] = set()  # launches past the primary
     pending: set[asyncio.Task] = set()
     errors = []
     next_idx = 0
@@ -87,6 +95,10 @@ async def _hedged(targets, call, hedge_delay, on_failure):
         nonlocal next_idx
         task = loop.create_task(call(targets[next_idx]))
         owner[task] = targets[next_idx]
+        if next_idx > 0:
+            hedged.add(task)
+            if on_hedge is not None:
+                on_hedge(targets[next_idx])
         pending.add(task)
         next_idx += 1
 
@@ -112,6 +124,8 @@ async def _hedged(targets, call, hedge_delay, on_failure):
                 exc = task.exception()
                 if exc is None:
                     await cancel_rest()
+                    if task in hedged and on_hedge_win is not None:
+                        on_hedge_win(owner[task])
                     return task.result(), owner[task]
                 if isinstance(exc, WorkerUnavailableError):
                     errors.append(exc)

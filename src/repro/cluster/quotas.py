@@ -70,6 +70,9 @@ class AdmissionController:
         self._total = 0.0
         self.admitted = 0
         self.shed = 0
+        # Per-tenant shed counts: who is actually being turned away —
+        # the fairness evidence `repro top` and /cluster/metrics show.
+        self.shed_by_tenant: dict[str, int] = defaultdict(int)
 
     def share_of(self, tenant: str) -> float:
         return self.shares.get(tenant, self.default_share)
@@ -86,6 +89,7 @@ class AdmissionController:
         fits_capacity = self._total + cost <= self.capacity
         if not (under_guarantee or fits_capacity):
             self.shed += 1
+            self.shed_by_tenant[tenant] += 1
             raise TenantQuotaExceededError(tenant, usage, share)
         self._usage[tenant] = usage + cost
         self._total += cost
@@ -104,14 +108,20 @@ class AdmissionController:
         return self._usage.get(tenant or DEFAULT_TENANT, 0.0)
 
     def snapshot(self) -> dict:
+        tenants: dict[str, dict] = {}
+        for tenant in sorted(set(self._usage) | set(self.shed_by_tenant)):
+            usage = self._usage.get(tenant, 0.0)
+            shed = self.shed_by_tenant.get(tenant, 0)
+            if usage > 0 or shed > 0:
+                tenants[tenant] = {
+                    "usage": usage,
+                    "share": self.share_of(tenant),
+                    "shed": shed,
+                }
         return {
             "capacity": self.capacity,
             "in_flight": self._total,
             "admitted": self.admitted,
             "shed": self.shed,
-            "tenants": {
-                tenant: {"usage": usage, "share": self.share_of(tenant)}
-                for tenant, usage in sorted(self._usage.items())
-                if usage > 0
-            },
+            "tenants": tenants,
         }

@@ -33,7 +33,18 @@ import threading
 
 from ..errors import ReproError
 from ..obs.config import Observability
-from ..obs.metrics import MetricsRegistry
+from ..obs.context import (
+    TRACE_HEADER,
+    current_trace_context,
+    format_trace_header,
+)
+from ..obs.distributed import TraceSink, merge_segments, segment_spans
+from ..obs.metrics import (
+    MetricsRegistry,
+    render_federated_prometheus,
+    sum_scrapes,
+)
+from ..obs.slo import SLOMonitor
 from ..service.batcher import (
     DeadlineExceededError,
     QueueFullError,
@@ -79,6 +90,8 @@ class ClusterRouter(HttpServerBase):
         admission: AdmissionController | None = None,
         request_timeout: float = 30.0,
         obs: Observability | None = None,
+        slo: SLOMonitor | None = None,
+        trace_sink: TraceSink | None = None,
     ):
         super().__init__(obs=obs)
         self.supervisor = supervisor
@@ -89,6 +102,12 @@ class ClusterRouter(HttpServerBase):
         self.hedge_delay = hedge_delay
         self.admission = admission
         self.request_timeout = request_timeout
+        #: Sliding-window SLOs over every front-door request; the burn
+        #: rates surface on /cluster/status, /metrics, and `repro top`.
+        self.slo = slo if slo is not None else SLOMonitor()
+        #: Optional on-disk store for assembled distributed traces
+        #: (written on every /traces/<id> collection).
+        self.trace_sink = trace_sink
         # The degraded-mode fallback: a bounded in-process service sharing
         # the router's registry (and therefore its compile memo and disk
         # cache). Its HTTP server never starts; only its handler is used.
@@ -166,19 +185,33 @@ class ClusterRouter(HttpServerBase):
                 "specs": len(self.registry),
             }, "application/json"
         if path == "/metrics" and method == "GET":
+            self._export_derived_gauges()
             registry = self.obs.metrics or MetricsRegistry()
             if query.get("format") == "json":
                 return 200, registry.to_dict(), "application/json"
             return 200, registry.render_prometheus(), \
                 "text/plain; version=0.0.4"
+        if path == "/cluster/metrics" and method == "GET":
+            return await self._cluster_metrics(query)
         if path == "/cluster/status" and method == "GET":
+            self.slo.export_gauges(self.obs.metrics)
             return 200, {
                 "workers": self.supervisor.status(),
                 "ring": list(self.ring.workers),
                 "replicas": self.ring.replicas,
                 "admission": (self.admission.snapshot()
                               if self.admission is not None else None),
+                "slo": self.slo.snapshot(),
             }, "application/json"
+        if path == "/traces" and method == "GET":
+            traces = list(self.obs.tracer.trace_ids())
+            if self.trace_sink is not None:
+                seen = set(traces)
+                traces += [t for t in self.trace_sink.trace_ids()
+                           if t not in seen]
+            return 200, {"traces": traces}, "application/json"
+        if path.startswith("/traces/") and method == "GET":
+            return await self._collect_trace(path[len("/traces/"):])
         if path == "/specs" and method == "GET":
             return 200, {"specs": self._list_specs(tenant, catalog)}, \
                 "application/json"
@@ -196,7 +229,7 @@ class ClusterRouter(HttpServerBase):
 
         if method != "POST" or path not in _FORWARDED_PATHS:
             known = ("/healthz", "/metrics", "/specs", "/cluster/status",
-                     *_FORWARDED_PATHS)
+                     "/cluster/metrics", "/traces", *_FORWARDED_PATHS)
             if path in known:
                 raise HttpError(405, f"method {method} not allowed on {path}")
             raise HttpError(404, f"no such endpoint {path}")
@@ -267,9 +300,25 @@ class ClusterRouter(HttpServerBase):
         if isinstance(deadline, (int, float)):
             timeout = max(timeout, float(deadline) + 10.0)
 
+        # Propagate the trace across the process border: the contextvar
+        # holds the router's own http.<endpoint> span (installed by
+        # _route), so the worker's request span becomes its child.
+        ctx = current_trace_context()
+        trace_headers = (
+            {TRACE_HEADER: format_trace_header(ctx)} if ctx is not None
+            else None
+        )
+
         async def send(worker_id: str):
             handle = self.supervisor.state_of(worker_id).handle
-            return await handle.request("POST", path, forward, timeout=timeout)
+            if trace_headers is not None:
+                return await handle.request("POST", path, forward,
+                                            timeout=timeout,
+                                            headers=trace_headers)
+            # No kwarg when untraced: scripted fake workers in tests
+            # predate the headers parameter.
+            return await handle.request("POST", path, forward,
+                                        timeout=timeout)
 
         try:
             (status, payload), worker_id = await call_with_failover(
@@ -277,6 +326,10 @@ class ClusterRouter(HttpServerBase):
                 budget=self.retry_budget,
                 hedge_delay=self.hedge_delay,
                 on_failure=self._note_worker_failure,
+                on_hedge=lambda w: self._metric("cluster.router.hedges"),
+                on_hedge_win=lambda w: self._metric(
+                    "cluster.router.hedge_wins"
+                ),
             )
         except AllReplicasFailedError:
             self._metric("cluster.router.degraded")
@@ -314,6 +367,156 @@ class ClusterRouter(HttpServerBase):
     def _metric(self, name: str) -> None:
         if self.obs.metrics is not None:
             self.obs.metrics.inc(name)
+
+    # -- fleet observability --------------------------------------------------
+
+    def _observe_outcome(self, endpoint: str, status: int,
+                         latency: float) -> None:
+        # Availability counts server-side failures only: a 4xx is the
+        # client's answer, not the cluster failing its promise.
+        self.slo.record(ok=status < 500, latency=latency)
+
+    async def _scrape_workers(self) -> dict[str, dict]:
+        """Every healthy worker's ``/metrics?format=json``, concurrently.
+
+        A worker dying mid-scrape is skipped — federation reports the
+        fleet that answered, never fails the endpoint.
+        """
+        healthy = self.supervisor.healthy_workers()
+
+        async def scrape(worker_id: str):
+            handle = self.supervisor.state_of(worker_id).handle
+            try:
+                status, data = await handle.request(
+                    "GET", "/metrics?format=json", timeout=5.0
+                )
+            except WorkerError:
+                return worker_id, None
+            if status != 200 or not isinstance(data, dict):
+                return worker_id, None
+            return worker_id, data
+
+        results = await asyncio.gather(*(scrape(w) for w in healthy))
+        return {wid: data for wid, data in results if data is not None}
+
+    def _export_derived_gauges(self, scrapes: dict[str, dict] | None = None,
+                               totals: dict | None = None) -> None:
+        """Fold fleet-level health into the router's own registry.
+
+        Rates are recomputed from counters at scrape time (cheap; no
+        per-request bookkeeping): failover and hedge-win rates, the
+        batcher coalescing ratio across workers, per-replica verify p95,
+        and per-tenant quota shed.
+        """
+        metrics = self.obs.metrics
+        if metrics is None:
+            return
+        counters = {
+            name: c.value for name, c in metrics._counters.items()
+        }
+        forwarded = counters.get("cluster.router.forwarded", 0)
+        failovers = counters.get("cluster.router.failovers", 0)
+        hedges = counters.get("cluster.router.hedges", 0)
+        hedge_wins = counters.get("cluster.router.hedge_wins", 0)
+        if forwarded + failovers:
+            metrics.set_gauge(
+                "cluster.failover_rate",
+                round(failovers / (forwarded + failovers), 6),
+            )
+        if hedges:
+            metrics.set_gauge("cluster.hedge_win_rate",
+                              round(hedge_wins / hedges, 6))
+        if self.admission is not None:
+            for tenant, count in sorted(
+                self.admission.shed_by_tenant.items()
+            ):
+                metrics.set_gauge(f"cluster.quota.shed.{tenant}", count)
+        self.slo.export_gauges(metrics)
+        if scrapes:
+            for worker_id in sorted(scrapes):
+                histograms = scrapes[worker_id].get("histograms") or {}
+                summary = histograms.get("service.http.verify.latency")
+                if summary and summary.get("count"):
+                    metrics.set_gauge(
+                        f"cluster.replica.{worker_id}.verify_p95",
+                        round(summary.get("p95", 0.0), 6),
+                    )
+        if totals:
+            total_counters = totals.get("counters") or {}
+            submitted = total_counters.get("service.verify.submitted", 0)
+            coalesced = total_counters.get("service.verify.coalesced", 0)
+            if submitted:
+                metrics.set_gauge("cluster.coalescing_ratio",
+                                  round(coalesced / submitted, 6))
+
+    async def _cluster_metrics(self, query):
+        """``/cluster/metrics``: the union of every worker's scrape.
+
+        Totals are the bit-for-bit sum of the per-worker scrapes (in
+        sorted worker order — the CI gate asserts exact equality), each
+        worker's series carry ``worker="<id>"`` labels, and the router's
+        own registry (with the derived fleet gauges) rides along as
+        ``worker="router"``.
+        """
+        scrapes = await self._scrape_workers()
+        totals = sum_scrapes(scrapes)
+        self._export_derived_gauges(scrapes, totals)
+        router_snapshot = (self.obs.metrics.to_dict()
+                           if self.obs.metrics is not None else None)
+        if query.get("format") == "json":
+            return 200, {
+                "workers": scrapes,
+                "totals": totals,
+                "router": router_snapshot,
+            }, "application/json"
+        return 200, render_federated_prometheus(
+            scrapes, totals=totals, router=router_snapshot
+        ), "text/plain; version=0.0.4"
+
+    async def _collect_trace(self, trace_id: str):
+        """``/traces/<id>``: gather this trace's span segments fleet-wide.
+
+        The router contributes its own spans (segment ``router``); every
+        healthy worker is asked for its segment, relabeled to the worker
+        id (workers don't know their cluster name). The merged flat list
+        is stored in the trace sink (when configured) and returned —
+        ``repro trace show --distributed`` renders it as one tree.
+        """
+        own = segment_spans(
+            self.obs.tracer.spans_for(trace_id), "router"
+        )
+        healthy = self.supervisor.healthy_workers()
+
+        async def fetch(worker_id: str):
+            handle = self.supervisor.state_of(worker_id).handle
+            try:
+                status, data = await handle.request(
+                    "GET", f"/traces/{trace_id}", timeout=5.0
+                )
+            except WorkerError:
+                return []
+            if status != 200 or not isinstance(data, dict):
+                return []
+            spans = data.get("spans") or []
+            for span in spans:
+                span["segment"] = worker_id
+            return spans
+
+        segments = await asyncio.gather(*(fetch(w) for w in healthy))
+        merged = merge_segments(own, *segments)
+        if not merged and self.trace_sink is not None:
+            # Nothing live — the workers may have restarted; fall back
+            # to what an earlier collection persisted.
+            try:
+                merged = self.trace_sink.read(trace_id)
+            except ReproError:
+                merged = []
+        if not merged:
+            raise HttpError(404, f"no spans retained for trace {trace_id!r}")
+        if self.trace_sink is not None:
+            self.trace_sink.write(trace_id, merged)
+        return 200, {"trace_id": trace_id, "spans": merged}, \
+            "application/json"
 
 
 def _encode(data: dict) -> bytes:
@@ -380,6 +583,9 @@ def cluster_in_thread(
     worker_jobs: int = 1,
     worker_args: tuple[str, ...] = (),
     supervisor_kwargs: dict | None = None,
+    tracing: bool = False,
+    trace_dir=None,
+    ids_seed: int | None = None,
     **router_kwargs,
 ) -> ClusterHandle:
     """Start a full cluster — N subprocess workers, supervisor, router —
@@ -388,18 +594,40 @@ def cluster_in_thread(
     ``cache_dir`` is shared by every worker and the router's fallback:
     the content-addressed compile cache is what makes a restarted worker
     warm. ``worker_args`` appends raw ``repro serve`` flags.
+
+    ``tracing=True`` turns on distributed tracing end to end: the router
+    traces with segment ``router`` and every worker daemon gets
+    ``--tracing``. ``ids_seed`` seeds every id source deterministically
+    (worker ``i`` gets ``ids_seed + 1 + i`` — distinct streams, so span
+    refs never collide across segments). ``trace_dir`` adds an on-disk
+    :class:`~repro.obs.distributed.TraceSink` the router persists
+    assembled traces into.
     """
+    from ..obs.context import IdSource
     from .worker import ProcessWorker
 
     extra = ["--jobs", str(worker_jobs)]
     if cache_dir is not None:
         extra += ["--cache-dir", str(cache_dir)]
-    extra += list(worker_args)
 
-    handles = [
-        ProcessWorker(f"w{i}", extra_args=tuple(extra))
-        for i in range(workers)
-    ]
+    handles = []
+    for i in range(workers):
+        worker_extra = list(extra)
+        if tracing:
+            worker_extra += ["--tracing"]
+            if ids_seed is not None:
+                worker_extra += ["--ids-seed", str(ids_seed + 1 + i)]
+        handles.append(ProcessWorker(
+            f"w{i}", extra_args=tuple(worker_extra + list(worker_args))
+        ))
+    if tracing and "obs" not in router_kwargs:
+        router_kwargs["obs"] = Observability.enabled(
+            trace=True, metrics=True, record=False,
+            ids=IdSource(seed=ids_seed), segment="router",
+            max_spans=10_000,
+        )
+    if trace_dir is not None and "trace_sink" not in router_kwargs:
+        router_kwargs["trace_sink"] = TraceSink(trace_dir)
     supervisor = WorkerSupervisor(handles, **(supervisor_kwargs or {}))
     router = ClusterRouter(
         supervisor,

@@ -65,13 +65,16 @@ class WorkerUnavailableError(WorkerError):
 
 
 async def http_request(host: str, port: int, method: str, path: str,
-                       body: dict | None = None, timeout: float = 30.0):
+                       body: dict | None = None, timeout: float = 30.0,
+                       headers: dict[str, str] | None = None):
     """One JSON-over-HTTP exchange on a fresh connection.
 
     Returns ``(status, data)`` where ``data`` is the decoded JSON body
-    (or raw text for non-JSON responses). Raises ``OSError`` /
-    ``asyncio.TimeoutError`` / ``asyncio.IncompleteReadError`` on
-    transport failures — the caller maps those to its own error type.
+    (or raw text for non-JSON responses). ``headers`` adds extra request
+    headers (the router's trace propagation rides here). Raises
+    ``OSError`` / ``asyncio.TimeoutError`` /
+    ``asyncio.IncompleteReadError`` on transport failures — the caller
+    maps those to its own error type.
     """
 
     async def exchange():
@@ -79,11 +82,16 @@ async def http_request(host: str, port: int, method: str, path: str,
         try:
             payload = (json.dumps(body).encode("utf-8")
                        if body is not None else b"")
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in (headers or {}).items()
+            )
             writer.write(
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n".encode("ascii")
             )
             writer.write(payload)
@@ -93,16 +101,17 @@ async def http_request(host: str, port: int, method: str, path: str,
             if len(parts) < 2 or not parts[1].isdigit():
                 raise asyncio.IncompleteReadError(status_line, None)
             status = int(parts[1])
-            headers: dict[str, str] = {}
+            response_headers: dict[str, str] = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or 0)
+                response_headers[name.strip().lower()] = value.strip()
+            length = int(response_headers.get("content-length", "0") or 0)
             raw = await reader.readexactly(length) if length else b""
-            if headers.get("content-type", "").startswith("application/json"):
+            if response_headers.get("content-type",
+                                    "").startswith("application/json"):
                 data = json.loads(raw) if raw else {}
             else:
                 data = raw.decode("utf-8")
@@ -239,14 +248,15 @@ class ProcessWorker:
     # -- I/O ------------------------------------------------------------------
 
     async def request(self, method: str, path: str, body: dict | None = None,
-                      timeout: float = 30.0):
+                      timeout: float = 30.0,
+                      headers: dict[str, str] | None = None):
         """Forward one HTTP exchange; transport failures become
         :class:`WorkerUnavailableError` (the failover-retryable kind)."""
         if not self.running or self.port is None:
             raise WorkerUnavailableError(self.worker_id, "process not running")
         try:
             return await http_request(self.host, self.port, method, path,
-                                      body, timeout=timeout)
+                                      body, timeout=timeout, headers=headers)
         except (OSError, asyncio.TimeoutError,
                 asyncio.IncompleteReadError) as exc:
             raise WorkerUnavailableError(

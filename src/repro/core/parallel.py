@@ -319,7 +319,13 @@ def _record_fanout(obs, what: str, stats: FanoutStats) -> None:
         metrics.set_gauge("parallel.speedup", round(stats.speedup, 3))
     tracer = obs.tracer
     if tracer.enabled:
-        with tracer.span(f"parallel.{what}", jobs=stats.jobs,
+        # Adopt the thread's active trace context (installed by the
+        # batcher around its executor call) so this fan-out hangs under
+        # the batch span in the distributed tree. None outside a trace.
+        from ..obs.context import current_trace_context
+
+        with tracer.span(f"parallel.{what}", ctx=current_trace_context(),
+                         jobs=stats.jobs,
                          disjuncts=stats.disjuncts_total,
                          chunks=stats.chunks) as span:
             span.annotate(examined=stats.examined, pruned=stats.pruned,

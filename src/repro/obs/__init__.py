@@ -22,7 +22,37 @@ the default (:data:`~repro.obs.config.OBS_DISABLED`) is no-op-cheap.
 """
 
 from .config import OBS_DISABLED, Observability
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .context import (
+    TRACE_HEADER,
+    IdSource,
+    TraceContext,
+    current_trace_context,
+    format_trace_header,
+    parse_trace_header,
+    reset_trace_context,
+    set_trace_context,
+    use_trace_context,
+)
+from .distributed import (
+    TraceSink,
+    assemble,
+    load_distributed_trace,
+    merge_segments,
+    render_distributed,
+    segment_spans,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+    prometheus_name,
+    render_federated_prometheus,
+    sum_scrapes,
+)
+from .slo import DEFAULT_OBJECTIVES, SLObjective, SLOMonitor
 from .recorder import (
     Decision,
     FlightRecorder,
@@ -60,4 +90,30 @@ __all__ = [
     "ReplayStrategy",
     "ReplayResult",
     "ReplayDivergenceError",
+    # Distributed tracing
+    "TRACE_HEADER",
+    "TraceContext",
+    "IdSource",
+    "format_trace_header",
+    "parse_trace_header",
+    "current_trace_context",
+    "set_trace_context",
+    "reset_trace_context",
+    "use_trace_context",
+    "TraceSink",
+    "segment_spans",
+    "merge_segments",
+    "assemble",
+    "render_distributed",
+    "load_distributed_trace",
+    # Exposition / federation
+    "prometheus_name",
+    "escape_label_value",
+    "format_labels",
+    "render_federated_prometheus",
+    "sum_scrapes",
+    # SLOs
+    "SLObjective",
+    "SLOMonitor",
+    "DEFAULT_OBJECTIVES",
 ]

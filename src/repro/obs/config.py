@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .context import IdSource
 from .metrics import MetricsRegistry
 from .recorder import FlightRecorder
 from .tracer import NullTracer, Tracer
@@ -44,10 +45,21 @@ class Observability:
 
     @classmethod
     def enabled(cls, trace: bool = True, metrics: bool = True,
-                record: bool = True) -> "Observability":
-        """An all-on (or selectively-on) configuration."""
+                record: bool = True, *, ids: "IdSource | None" = None,
+                segment: str = "local",
+                max_spans: int | None = None) -> "Observability":
+        """An all-on (or selectively-on) configuration.
+
+        ``ids`` switches the tracer into distributed mode (every span
+        gets a ``trace_id``/``ref``/``parent_ref`` from the injectable
+        :class:`~repro.obs.context.IdSource` — seed it and chaos runs
+        replay with identical span ids); ``segment`` names this process
+        in cross-process trees; ``max_spans`` bounds retention for
+        long-running daemons.
+        """
         return cls(
-            tracer=Tracer() if trace else NullTracer(),
+            tracer=(Tracer(ids=ids, segment=segment, max_spans=max_spans)
+                    if trace else NullTracer()),
             metrics=MetricsRegistry() if metrics else None,
             recorder=FlightRecorder() if record else None,
         )

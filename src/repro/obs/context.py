@@ -1,0 +1,145 @@
+"""Trace context: the identity a request carries across process borders.
+
+One verification request may touch the cluster router, a failover
+replica, a worker daemon, its batcher, and a process-pool fan-out —
+five processes, five tracers, five disjoint span lists. What stitches
+them back into *one* tree is a :class:`TraceContext`: a 128-bit trace
+id naming the request end-to-end plus the 64-bit span id of the caller's
+active span, serialized into the ``X-Repro-Trace`` header in the W3C
+``traceparent`` shape (``00-<trace-id>-<span-id>-01``).
+
+Ids come from an :class:`IdSource` — a seeded RNG, injectable everywhere
+ids are minted, so chaos tests replay with *identical* span ids and the
+flight recorder's replay check extends to the distributed tree
+(``tests/obs/test_recorder.py``).
+
+Within a process the active context rides a :mod:`contextvars` variable
+(:func:`current_trace_context`), the asyncio-native carrier: each
+request-handling task sees its own context, and explicit handoff points
+(the batcher's executor thread, subprocess workers) re-install it on the
+far side.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "IdSource",
+    "format_trace_header",
+    "parse_trace_header",
+    "current_trace_context",
+    "set_trace_context",
+    "reset_trace_context",
+    "use_trace_context",
+]
+
+#: The propagation header (wire casing; servers look it up lower-cased).
+TRACE_HEADER = "X-Repro-Trace"
+
+_VERSION = "00"
+_FLAGS = "01"  # sampled — repro traces everything it traces
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A (trace id, parent span id) pair identifying where work hangs."""
+
+    trace_id: str  # 32 lowercase hex chars
+    span_id: str   # 16 lowercase hex chars — the caller's active span
+
+    def header(self) -> str:
+        return format_trace_header(self)
+
+
+class IdSource:
+    """Mints trace/span/request ids; seed it and every id is replayable.
+
+    >>> IdSource(seed=7).span_id() == IdSource(seed=7).span_id()
+    True
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    def trace_id(self) -> str:
+        return f"{self._rng.getrandbits(128):032x}"
+
+    def span_id(self) -> str:
+        return f"{self._rng.getrandbits(64):016x}"
+
+    def request_id(self) -> str:
+        return f"{self._rng.getrandbits(64):016x}"
+
+
+def format_trace_header(ctx: TraceContext) -> str:
+    """``TraceContext`` → ``00-<trace-id>-<span-id>-01``."""
+    return f"{_VERSION}-{ctx.trace_id}-{ctx.span_id}-{_FLAGS}"
+
+
+def _is_hex(value: str, length: int) -> bool:
+    if len(value) != length:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_trace_header(value: str | None) -> TraceContext | None:
+    """Parse an ``X-Repro-Trace`` header; ``None`` on absent or malformed.
+
+    Malformed headers are dropped, never fatal: a bad trace header must
+    not fail the request it came in on.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != _VERSION:
+        return None
+    if not _is_hex(trace_id, 32) or not _is_hex(span_id, 16):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None  # the all-zero ids are invalid per traceparent
+    return TraceContext(trace_id=trace_id.lower(), span_id=span_id.lower())
+
+
+# -- the in-process carrier ----------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The context active in this task/thread (None outside any trace)."""
+    return _CURRENT.get()
+
+
+def set_trace_context(ctx: TraceContext | None) -> contextvars.Token:
+    """Install ``ctx``; returns the token for :func:`reset_trace_context`."""
+    return _CURRENT.set(ctx)
+
+
+def reset_trace_context(token: contextvars.Token) -> None:
+    """Undo a :func:`set_trace_context` (restores the previous context)."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def use_trace_context(ctx: TraceContext | None):
+    """Scope ``ctx`` to a ``with`` block (explicit-handoff helper)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

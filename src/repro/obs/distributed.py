@@ -1,0 +1,245 @@
+"""Cross-process trace assembly: span segments in, one tree out.
+
+Every process in the fleet traces on its own — the router, each worker
+daemon, the batcher and process-pool fan-out inside a worker. What each
+contributes for a given trace id is a *segment*: the flat list of its
+spans stamped with that ``trace_id`` (see the distributed fields on
+:class:`~repro.obs.tracer.Span`). The router's ``/traces`` endpoint
+collects segments from every live worker plus its own tracer;
+:func:`assemble` stitches them into one tree keyed on the cross-process
+``ref``/``parent_ref`` ids, and :func:`render_distributed` draws it —
+router → failover attempt(s) → worker → batcher batch → parallel
+fan-out, one indented tree with per-segment tags.
+
+Spans arriving from different machines have different monotonic clocks;
+ordering within a parent therefore uses ``(segment, start)`` — stable
+and deterministic, not wall-clock-comparable across segments (the span
+*structure* is the cross-process contract, durations are per-segment
+truth).
+
+:class:`TraceSink` is the on-disk side: one JSONL file per trace id
+under a directory, oldest traces evicted past ``max_traces``. The files
+it writes are exactly what ``repro trace show --distributed`` renders
+and ``repro trace fetch`` downloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import ReproError
+from .tracer import Span
+
+__all__ = [
+    "segment_spans",
+    "merge_segments",
+    "assemble",
+    "render_distributed",
+    "TraceSink",
+    "load_distributed_trace",
+]
+
+
+def segment_spans(spans: Iterable[Span], segment: str) -> list[dict[str, Any]]:
+    """Serialize one process's spans, tagging each with its segment name."""
+    out = []
+    for span in spans:
+        data = span.to_dict()
+        data["segment"] = segment
+        out.append(data)
+    return out
+
+
+def merge_segments(*segments: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Concatenate segment lists, de-duplicating on (segment, ref/id).
+
+    A worker polled twice (or a router retrying collection) must not
+    double every span.
+    """
+    seen: set[tuple] = set()
+    merged: list[dict[str, Any]] = []
+    for segment in segments:
+        for data in segment:
+            key = (data.get("segment"), data.get("ref") or data.get("id"))
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(data)
+    return merged
+
+
+def _global_id(data: dict[str, Any]) -> str:
+    ref = data.get("ref")
+    if ref is not None:
+        return ref
+    return f"{data.get('segment', 'local')}:{data.get('id')}"
+
+
+def _global_parent(data: dict[str, Any]) -> str | None:
+    parent_ref = data.get("parent_ref")
+    if parent_ref is not None:
+        return parent_ref
+    parent = data.get("parent")
+    if parent is None:
+        return None
+    return f"{data.get('segment', 'local')}:{parent}"
+
+
+def assemble(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Build the cross-process tree; returns the list of root nodes.
+
+    Each node is the span dict plus a ``children`` list. A span whose
+    parent is not in the set (the far end never shipped it, or it was
+    evicted) becomes a root — the tree degrades to a forest instead of
+    dropping data.
+    """
+    nodes: dict[str, dict[str, Any]] = {}
+    for data in spans:
+        node = dict(data)
+        node["children"] = []
+        nodes[_global_id(node)] = node
+    roots: list[dict[str, Any]] = []
+    for node in nodes.values():
+        parent = _global_parent(node)
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def order(group: list[dict[str, Any]]) -> None:
+        group.sort(key=lambda n: (str(n.get("segment", "")),
+                                  n.get("start") or 0.0))
+        for node in group:
+            order(node["children"])
+
+    order(roots)
+    return roots
+
+
+def _duration(data: dict[str, Any]) -> str:
+    start, end = data.get("start"), data.get("end")
+    if start is None or end is None:
+        return "open"
+    seconds = end - start
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_distributed(spans: list[dict[str, Any]]) -> str:
+    """The assembled cross-process tree as indented text.
+
+    ::
+
+        http.verify @router  [12.53ms] status=200
+          http.verify @w1  [11.90ms] status=200
+            service.verify.batch @w1  [11.20ms] waiters=1
+              parallel.verify_batch @w1  [10.80ms] jobs=4
+    """
+    if not spans:
+        return "(no spans)"
+    lines: list[str] = []
+
+    def visit(node: dict[str, Any], depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        rendered_attrs = "".join(
+            f" {key}={value!r}" for key, value in attrs.items()
+        )
+        lines.append(
+            f"{'  ' * depth}{node.get('name')} @{node.get('segment', '?')}"
+            f"  [{_duration(node)}]{rendered_attrs}"
+        )
+        for child in node["children"]:
+            visit(child, depth + 1)
+
+    for root in assemble(spans):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+class TraceSink:
+    """On-disk JSONL store of assembled distributed traces.
+
+    One file per trace id (``<trace_id>.trace.jsonl``), one span record
+    per line. ``max_traces`` bounds the directory: past it, the
+    oldest-written traces are evicted. Writes are atomic
+    (tempfile + rename), matching the compile cache's crash posture.
+    """
+
+    SUFFIX = ".trace.jsonl"
+
+    def __init__(self, directory: str | Path, max_traces: int = 256):
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_traces = max_traces
+
+    def _path(self, trace_id: str) -> Path:
+        if not trace_id or any(c not in "0123456789abcdef" for c in trace_id):
+            raise ReproError(f"invalid trace id {trace_id!r}")
+        return self.directory / f"{trace_id}{self.SUFFIX}"
+
+    def write(self, trace_id: str, spans: list[dict[str, Any]]) -> Path:
+        path = self._path(trace_id)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for data in spans:
+                    handle.write(json.dumps(data, default=repr) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._evict()
+        return path
+
+    def read(self, trace_id: str) -> list[dict[str, Any]]:
+        path = self._path(trace_id)
+        if not path.exists():
+            raise ReproError(f"no stored trace {trace_id!r}")
+        return load_distributed_trace(path)
+
+    def trace_ids(self) -> list[str]:
+        """Stored trace ids, oldest write first."""
+        entries = []
+        for path in self.directory.glob(f"*{self.SUFFIX}"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # raced an eviction
+        entries.sort()
+        return [p.name[: -len(self.SUFFIX)] for _, p in entries]
+
+    def _evict(self) -> None:
+        ids = self.trace_ids()
+        for trace_id in ids[: max(0, len(ids) - self.max_traces)]:
+            try:
+                self._path(trace_id).unlink()
+            except OSError:
+                pass
+
+
+def load_distributed_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a distributed-trace JSONL file (the sink / ``trace fetch``
+    format: one span object per line, each carrying ``segment``)."""
+    spans: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ReproError(f"malformed span line in {path}")
+            spans.append(data)
+    return spans

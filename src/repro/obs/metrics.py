@@ -23,11 +23,61 @@ from typing import Any
 
 from ..analysis.metrics import percentile, render_table
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_name",
+    "escape_label_value",
+    "format_labels",
+    "render_federated_prometheus",
+    "sum_scrapes",
+]
 
 # Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; registry names
 # use dots ("compile.cache_hits"), which map to underscores.
 _PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Exemplars retained per histogram (the slowest observations).
+MAX_EXEMPLARS = 8
+
+
+def prometheus_name(name: str) -> str:
+    """A registry name as a valid Prometheus metric name.
+
+    Dots become underscores, every other illegal character is squashed
+    to ``_``, and a leading digit (illegal as the *first* character even
+    though digits are fine later) gets an underscore prefix.
+    """
+    metric = _PROM_SANITIZE.sub("_", name.replace(".", "_"))
+    if not metric:
+        return "_"
+    if metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double quotes and newlines."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: dict[str, str] | None) -> str:
+    """``{"worker": "w0"}`` → ``{worker="w0"}`` (sorted; "" when empty)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{prometheus_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
 
 
 class Counter:
@@ -57,15 +107,26 @@ class Gauge:
 
 
 class Histogram:
-    """A recorded distribution with percentile summaries."""
+    """A recorded distribution with percentile summaries.
 
-    __slots__ = ("values",)
+    ``observe(value, exemplar=...)`` optionally tags the observation
+    (e.g. the spec key a verification batch was for); the histogram
+    retains the :data:`MAX_EXEMPLARS` *largest* tagged observations —
+    exactly what "top-k slowest specs" in ``repro top`` reads back.
+    """
+
+    __slots__ = ("values", "exemplars")
 
     def __init__(self) -> None:
         self.values: list[float] = []
+        self.exemplars: list[tuple[float, str]] = []  # sorted descending
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.values.append(value)
+        if exemplar is not None:
+            self.exemplars.append((value, exemplar))
+            self.exemplars.sort(key=lambda pair: -pair[0])
+            del self.exemplars[MAX_EXEMPLARS:]
 
     @property
     def count(self) -> int:
@@ -82,7 +143,7 @@ class Histogram:
         """count/total/min/max plus the p50/p95/p99 the tables print."""
         if not self.values:
             return {"count": 0, "total": 0.0}
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "min": min(self.values),
@@ -91,6 +152,10 @@ class Histogram:
             "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+        if self.exemplars:
+            out["exemplars"] = [[value, label]
+                                for value, label in self.exemplars]
+        return out
 
 
 class MetricsRegistry:
@@ -136,8 +201,9 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float,
+                exemplar: str | None = None) -> None:
+        self.histogram(name).observe(value, exemplar=exemplar)
 
     # -- export --------------------------------------------------------------
 
@@ -184,35 +250,109 @@ class MetricsRegistry:
                 )
         return "\n\n".join(sections)
 
-    def render_prometheus(self) -> str:
+    def render_prometheus(self, labels: dict[str, str] | None = None) -> str:
         """Text exposition in the Prometheus line format.
 
         Dotted registry names become underscore-separated metric names
-        (``service.verify.batches`` → ``service_verify_batches``).
-        Histograms export ``_count``/``_sum`` plus quantile gauges, the
-        summary-metric convention.
+        (``service.verify.batches`` → ``service_verify_batches``), with
+        :func:`prometheus_name` fixing anything else the format rejects.
+        Histograms export under the summary convention: one ``# TYPE``
+        line on the *base* name, then ``_count``/``_sum`` series (both
+        present even with zero samples) and quantile series. ``labels``
+        are attached to every series — the federated endpoint renders
+        each worker's scrape with ``worker="wN"`` through this hook.
         """
-        lines: list[str] = []
+        return "".join(
+            _prometheus_lines(self.to_dict(), labels=labels or {})
+        )
 
-        def emit(name: str, value: float | None,
-                 labels: str = "", kind: str | None = None) -> None:
-            if value is None:
-                return
-            metric = _PROM_SANITIZE.sub("_", name.replace(".", "_"))
-            if kind is not None:
-                lines.append(f"# TYPE {metric} {kind}")
-            rendered = repr(float(value)) if isinstance(value, float) else value
-            lines.append(f"{metric}{labels} {rendered}")
 
-        for name, counter in sorted(self._counters.items()):
-            emit(name, counter.value, kind="counter")
-        for name, gauge in sorted(self._gauges.items()):
-            emit(name, gauge.value, kind="gauge")
-        for name, histogram in sorted(self._histograms.items()):
-            summary = histogram.summary()
-            emit(name + "_count", summary["count"], kind="summary")
-            emit(name + "_sum", summary["total"])
-            if summary["count"]:
-                for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
-                    emit(name, summary[key], labels=f'{{quantile="{q}"}}')
-        return "\n".join(lines) + ("\n" if lines else "")
+def _prometheus_lines(snapshot: dict[str, Any],
+                      labels: dict[str, str],
+                      *, type_lines: bool = True) -> list[str]:
+    """Exposition lines (each newline-terminated) for a ``to_dict`` dump."""
+    lines: list[str] = []
+    label_str = format_labels(labels)
+
+    def emit(name: str, value: float | None, extra: str = "",
+             kind: str | None = None) -> None:
+        if value is None:
+            return
+        metric = prometheus_name(name)
+        if kind is not None and type_lines:
+            lines.append(f"# TYPE {metric} {kind}\n")
+        rendered = repr(float(value)) if isinstance(value, float) else value
+        lines.append(f"{metric}{extra or label_str} {rendered}\n")
+
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        emit(name, value, kind="counter")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        emit(name, value, kind="gauge")
+    for name, summary in sorted((snapshot.get("histograms") or {}).items()):
+        if type_lines:
+            lines.append(f"# TYPE {prometheus_name(name)} summary\n")
+        emit(name + "_count", summary.get("count", 0))
+        emit(name + "_sum", summary.get("total", 0.0))
+        if summary.get("count"):
+            for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                if key not in summary:
+                    continue
+                quantile_labels = format_labels(
+                    {**labels, "quantile": str(q)}
+                )
+                emit(name, summary[key], extra=quantile_labels)
+    return lines
+
+
+def render_federated_prometheus(
+    workers: dict[str, dict[str, Any]],
+    totals: dict[str, Any] | None = None,
+    router: dict[str, Any] | None = None,
+) -> str:
+    """One exposition for a whole fleet.
+
+    ``workers`` maps worker id → that worker's ``to_dict`` scrape; every
+    series is emitted with a ``worker="<id>"`` label. ``totals`` (the
+    cross-worker sums computed by :func:`sum_scrapes`) is emitted
+    unlabeled under the same metric names, so a counter's fleet total
+    sits next to its per-worker breakdown. ``router`` — the router's own
+    registry — is emitted with ``worker="router"``.
+    """
+    lines: list[str] = []
+    if totals:
+        lines += _prometheus_lines(totals, labels={})
+    if router:
+        # TYPE lines only once per metric name: the totals section owns
+        # them; labeled sections emit bare series.
+        lines += _prometheus_lines(router, labels={"worker": "router"},
+                                   type_lines=False)
+    for worker_id in sorted(workers):
+        lines += _prometheus_lines(workers[worker_id],
+                                   labels={"worker": worker_id},
+                                   type_lines=False)
+    return "".join(lines)
+
+
+def sum_scrapes(scrapes: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Cross-worker totals of ``to_dict`` scrapes, in sorted-key order.
+
+    Counters and histogram count/sum add (in deterministic worker-id
+    order, so the totals are bit-for-bit the sum of the parts — the CI
+    gate); gauges and quantiles do not meaningfully add and are left to
+    the per-worker series.
+    """
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for worker_id in sorted(scrapes):
+        scrape = scrapes[worker_id]
+        for name, value in (scrape.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, summary in (scrape.get("histograms") or {}).items():
+            merged = histograms.setdefault(name, {"count": 0, "total": 0.0})
+            merged["count"] += summary.get("count", 0)
+            merged["total"] += summary.get("total", 0.0)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {},
+        "histograms": dict(sorted(histograms.items())),
+    }

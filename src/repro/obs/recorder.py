@@ -321,7 +321,23 @@ def replay_trace(trace: Trace) -> ReplayResult:
     spec_text = trace.header.get("spec")
     if not spec_text:
         raise ReproError("trace header carries no specification source")
-    compiled = parse_specification(spec_text).compile()
+
+    # Distributed-id interop: a trace recorded with a seeded IdSource
+    # (header ``ids_seed``) is replayed under an identically-seeded
+    # tracer, so the replay mints the *same* trace/span ids — and when
+    # the header asks for it (``span_check``), the whole span tree is
+    # part of the reproducibility contract.
+    ids_seed = trace.header.get("ids_seed")
+    obs = None
+    if ids_seed is not None:
+        from .config import Observability
+        from .context import IdSource
+
+        obs = Observability.enabled(
+            trace=True, metrics=False, record=False,
+            ids=IdSource(seed=ids_seed),
+        )
+    compiled = parse_specification(spec_text).compile(obs=obs)
 
     clock = VirtualClock()
     oracle: TransitionOracle | ChaosOracle = TransitionOracle()
@@ -332,10 +348,22 @@ def replay_trace(trace: Trace) -> ReplayResult:
 
     strategy = ReplayStrategy(trace.decisions)
     engine = WorkflowEngine(compiled, oracle=oracle, policies=policies,
-                            clock=clock, strategy=strategy)
+                            clock=clock, strategy=strategy, obs=obs)
     report = engine.run()
 
     mismatches: list[str] = []
+    if obs is not None and trace.header.get("span_check"):
+        recorded_tree = [
+            (s.name, s.ref, s.parent_ref) for s in trace.spans
+        ]
+        replayed_tree = [
+            (s.name, s.ref, s.parent_ref) for s in obs.tracer.spans
+        ]
+        if recorded_tree != replayed_tree:
+            mismatches.append(
+                f"span tree: replay produced {len(replayed_tree)} spans "
+                f"diverging from the {len(recorded_tree)} recorded"
+            )
     if report.schedule != trace.schedule:
         mismatches.append(
             f"schedule: replay {' -> '.join(report.schedule)} vs recorded "

@@ -1,0 +1,148 @@
+"""Service-level objectives over a sliding window, with burn rates.
+
+An :class:`SLObjective` states a promise about recent traffic:
+
+* ``availability`` — at least ``target`` of requests answered without a
+  server-side failure (5xx; client errors are the client's problem);
+* ``latency`` — at least ``target`` of requests answered within
+  ``threshold`` seconds.
+
+The :class:`SLOMonitor` holds a sliding window of request outcomes on an
+injectable :class:`~repro.core.resilience.Clock` (a
+:class:`~repro.core.resilience.VirtualClock` makes every windowing
+branch deterministic in tests) and evaluates each objective on demand:
+
+* ``ratio`` — the fraction of good events in the window;
+* ``budget_remaining`` — how much of the error budget ``1 - target`` is
+  left, as a fraction of the budget (1.0 = untouched, 0.0 = spent,
+  negative = violated);
+* ``burn_rate`` — the observed error rate divided by the budgeted error
+  rate. Burn rate 1.0 means the budget is being consumed exactly as
+  provisioned; 14.4 is the classic "page now" threshold for a 99.9%
+  objective. An empty window burns nothing.
+
+The router records every front-door request into the monitor and
+mirrors each objective's gauges into the metrics registry
+(``slo.<name>.ratio`` / ``.burn_rate`` / ``.budget_remaining``), so the
+numbers are visible three ways: ``/cluster/status``, ``/metrics``, and
+``repro top``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.resilience import Clock, SystemClock
+
+__all__ = ["SLObjective", "SLOMonitor", "DEFAULT_OBJECTIVES"]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One promise about the traffic in the window."""
+
+    name: str
+    kind: str              # "availability" | "latency"
+    target: float          # fraction of requests that must be good
+    threshold: float = 0.0  # seconds; latency objectives only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be strictly between 0 and 1")
+        if self.kind == "latency" and self.threshold <= 0:
+            raise ValueError("latency objectives need a positive threshold")
+
+    def good(self, ok: bool, latency: float) -> bool:
+        if self.kind == "availability":
+            return ok
+        return ok and latency <= self.threshold
+
+
+#: The router's defaults: three nines of availability, and 95% of
+#: requests under half a second (workers carry NP-hard compiles; half a
+#: second is generous for the benchmark specs and tight for real abuse).
+DEFAULT_OBJECTIVES = (
+    SLObjective(name="availability", kind="availability", target=0.999),
+    SLObjective(name="latency_p95_500ms", kind="latency", target=0.95,
+                threshold=0.5),
+)
+
+
+class SLOMonitor:
+    """Sliding-window SLO evaluation fed one request outcome at a time."""
+
+    def __init__(self, objectives=DEFAULT_OBJECTIVES, *,
+                 window: float = 300.0, clock: Clock | None = None,
+                 max_events: int = 100_000):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.objectives = tuple(objectives)
+        self.window = window
+        self.clock = clock if clock is not None else SystemClock()
+        self.max_events = max_events
+        # (timestamp, ok, latency); appends at the right, prunes the left.
+        self._events: deque[tuple[float, bool, float]] = deque()
+
+    def record(self, ok: bool, latency: float) -> None:
+        """One request outcome: server-side success flag + latency."""
+        now = self.clock.now()
+        self._events.append((now, ok, latency))
+        if len(self._events) > self.max_events:
+            self._events.popleft()
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    def evaluate(self) -> list[dict]:
+        """Every objective against the current window (prunes first)."""
+        self._prune(self.clock.now())
+        total = len(self._events)
+        out = []
+        for objective in self.objectives:
+            good = sum(
+                1 for _, ok, latency in self._events
+                if objective.good(ok, latency)
+            )
+            ratio = good / total if total else 1.0
+            budget = 1.0 - objective.target
+            error_rate = 1.0 - ratio
+            burn_rate = error_rate / budget if total else 0.0
+            out.append({
+                "name": objective.name,
+                "kind": objective.kind,
+                "target": objective.target,
+                "threshold": objective.threshold or None,
+                "window_s": self.window,
+                "events": total,
+                "good": good,
+                "ratio": ratio,
+                "met": ratio >= objective.target if total else True,
+                "budget_remaining": 1.0 - burn_rate,
+                "burn_rate": burn_rate,
+            })
+        return out
+
+    def snapshot(self) -> dict:
+        """The ``/cluster/status`` shape: window size + per-objective rows."""
+        return {"window_s": self.window, "objectives": self.evaluate()}
+
+    def export_gauges(self, metrics) -> None:
+        """Mirror each objective into ``slo.<name>.*`` gauges."""
+        if metrics is None:
+            return
+        for row in self.evaluate():
+            prefix = f"slo.{row['name']}"
+            metrics.set_gauge(f"{prefix}.ratio", round(row["ratio"], 6))
+            metrics.set_gauge(f"{prefix}.burn_rate",
+                              round(row["burn_rate"], 6))
+            metrics.set_gauge(f"{prefix}.budget_remaining",
+                              round(row["budget_remaining"], 6))

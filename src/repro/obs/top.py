@@ -1,0 +1,204 @@
+"""``repro top``: a refreshing ASCII fleet view of a cluster router.
+
+The renderer is a pure function from the router's two JSON snapshots —
+``/cluster/status`` (workers, circuit breakers, admission, SLOs) and
+``/cluster/metrics?format=json`` (federated per-worker scrapes plus
+bit-exact totals) — to one text frame, so tests feed it canned payloads
+and assert on lines. :func:`run_top` is the thin polling loop around it:
+fetch, render, redraw (ANSI home+clear when stdout is a tty, plain
+frames otherwise), sleep, repeat.
+
+What a frame shows, top to bottom: fleet header, one row per worker
+(health, circuit-breaker state, restarts, verify p95), SLO burn-gauge
+rows, per-tenant admission usage with shed counts, the slowest specs by
+batch-latency exemplar, and the traffic summary line (forwarded /
+failover / hedge-win / coalescing).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["render_top", "run_top"]
+
+#: Histogram whose exemplars name the slowest specs.
+SLOW_SPEC_HISTOGRAM = "service.verify.batch_latency"
+
+#: Worker-side request-latency histogram backing the per-replica p95.
+VERIFY_LATENCY_HISTOGRAM = "service.http.verify.latency"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _fmt_rate(numerator: float, denominator: float) -> str:
+    if not denominator:
+        return "-"
+    return f"{numerator / denominator:.0%}"
+
+
+def _worker_rows(status: dict[str, Any],
+                 scrapes: dict[str, Any]) -> list[str]:
+    rows = []
+    for worker in status.get("workers") or []:
+        worker_id = worker.get("worker", "?")
+        healthy = worker.get("healthy")
+        breaker = (worker.get("breaker") or {}).get("state", "?")
+        restarts = worker.get("restarts", 0)
+        histograms = (scrapes.get(worker_id) or {}).get("histograms") or {}
+        summary = histograms.get(VERIFY_LATENCY_HISTOGRAM) or {}
+        p95 = summary.get("p95") if summary.get("count") else None
+        rows.append(
+            f"  {worker_id:<6} {'UP' if healthy else 'DOWN':<5}"
+            f" breaker={breaker:<9} restarts={restarts:<3}"
+            f" verify_p95={_fmt_seconds(p95)}"
+        )
+    return rows or ["  (no workers)"]
+
+
+def _slo_rows(status: dict[str, Any]) -> list[str]:
+    slo = status.get("slo") or {}
+    rows = []
+    for row in slo.get("objectives") or []:
+        flag = "OK " if row.get("met") else "MISS"
+        rows.append(
+            f"  {row.get('name', '?'):<20}"
+            f" ratio={row.get('ratio', 1.0):.4f}"
+            f" target={row.get('target', 0.0):.4f}"
+            f" burn={row.get('burn_rate', 0.0):5.2f}"
+            f"  {flag}"
+        )
+    if rows:
+        window = slo.get("window_s")
+        header = (f"slo (window {window:g}s)" if window is not None
+                  else "slo")
+        return [header] + rows
+    return []
+
+
+def _admission_rows(status: dict[str, Any]) -> list[str]:
+    admission = status.get("admission")
+    if not admission:
+        return []
+    rows = [
+        "admission"
+        f"  capacity={admission.get('capacity', 0):g}"
+        f" in_flight={admission.get('in_flight', 0):g}"
+        f" admitted={admission.get('admitted', 0)}"
+        f" shed={admission.get('shed', 0)}"
+    ]
+    for tenant, entry in sorted((admission.get("tenants") or {}).items()):
+        rows.append(
+            f"  tenant {tenant:<12}"
+            f" usage={entry.get('usage', 0):g}/{entry.get('share', 0):g}"
+            f" shed={entry.get('shed', 0)}"
+        )
+    return rows
+
+
+def _slowest_specs(metrics: dict[str, Any], k: int = 5) -> list[str]:
+    """Top-k slowest specs across the fleet, from histogram exemplars.
+
+    Totals cannot carry exemplars (sums have no single originating spec),
+    so the slowest are gathered from every per-worker scrape and merged.
+    """
+    pairs: list[tuple[float, str, str]] = []
+    sources = dict(metrics.get("workers") or {})
+    if metrics.get("router"):
+        sources["router"] = metrics["router"]
+    for worker_id, scrape in sources.items():
+        histograms = scrape.get("histograms") or {}
+        summary = histograms.get(SLOW_SPEC_HISTOGRAM) or {}
+        for value, label in summary.get("exemplars") or []:
+            pairs.append((float(value), str(label), worker_id))
+    if not pairs:
+        return []
+    pairs.sort(key=lambda item: -item[0])
+    rows = ["slowest specs"]
+    for value, label, worker_id in pairs[:k]:
+        rows.append(f"  {label:<24} {_fmt_seconds(value):>9}  @{worker_id}")
+    return rows
+
+
+def _traffic_row(metrics: dict[str, Any]) -> str:
+    router = (metrics.get("router") or {}).get("counters") or {}
+    totals = (metrics.get("totals") or {}).get("counters") or {}
+    forwarded = router.get("cluster.router.forwarded", 0)
+    failovers = router.get("cluster.router.failovers", 0)
+    hedges = router.get("cluster.router.hedges", 0)
+    hedge_wins = router.get("cluster.router.hedge_wins", 0)
+    submitted = totals.get("service.verify.submitted", 0)
+    coalesced = totals.get("service.verify.coalesced", 0)
+    return (
+        f"traffic  forwarded={forwarded:g} failovers={failovers:g}"
+        f" hedge_wins={_fmt_rate(hedge_wins, hedges)}"
+        f" coalesced={_fmt_rate(coalesced, submitted)}"
+    )
+
+
+def render_top(status: dict[str, Any], metrics: dict[str, Any],
+               *, address: str = "") -> str:
+    """One ``repro top`` frame from the router's two JSON snapshots."""
+    workers = status.get("workers") or []
+    healthy = sum(1 for w in workers if w.get("healthy"))
+    scrapes = metrics.get("workers") or {}
+    lines = [
+        f"repro top — cluster{' @ ' + address if address else ''}",
+        f"workers {healthy}/{len(workers)} healthy"
+        f"  ring={len(status.get('ring') or [])}"
+        f" replicas/key={status.get('replicas', '?')}",
+    ]
+    lines += _worker_rows(status, scrapes)
+    lines += _slo_rows(status)
+    lines += _admission_rows(status)
+    lines += _slowest_specs(metrics)
+    lines.append(_traffic_row(metrics))
+    return "\n".join(lines)
+
+
+def run_top(host: str, port: int, *, interval: float = 2.0,
+            iterations: int = 0, out=None, sleep=time.sleep) -> int:
+    """Poll the router and redraw until interrupted (or ``iterations``).
+
+    Returns the process exit status: 0 on a clean exit, 1 when the
+    router could not be reached at all.
+    """
+    import sys
+
+    from ..service.client import ServiceClient, ServiceClientError
+
+    out = out or sys.stdout
+    is_tty = getattr(out, "isatty", lambda: False)()
+    client = ServiceClient(host, port, timeout=10.0)
+    address = f"{host}:{port}"
+    drawn = 0
+    try:
+        while True:
+            try:
+                status = client.cluster_status()
+                metrics = client.cluster_metrics(format="json")
+            except (OSError, ServiceClientError) as exc:
+                print(f"error: router at {address} unreachable: {exc}",
+                      file=sys.stderr)
+                return 1
+            frame = render_top(status, metrics, address=address)
+            if is_tty:
+                print("\x1b[H\x1b[2J" + frame, file=out, flush=True)
+            else:
+                if drawn:
+                    print("", file=out)
+                print(frame, file=out, flush=True)
+            drawn += 1
+            if iterations and drawn >= iterations:
+                return 0
+            sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()

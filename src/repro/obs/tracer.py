@@ -11,6 +11,17 @@ The default everywhere is :class:`NullTracer`: its :meth:`~NullTracer.span`
 returns a shared no-op context manager, so instrumented code pays one
 attribute lookup and one call per hook when tracing is off (benchmarked
 against a 3% budget in ``benchmarks/bench_observability.py``).
+
+**Distributed mode.** A tracer constructed with an
+:class:`~repro.obs.context.IdSource` additionally stamps every span with
+globally-meaningful identity: a 128-bit ``trace_id`` (inherited from the
+parent span, adopted from an explicit remote :class:`~repro.obs.context.
+TraceContext`, or freshly minted for a root), a 64-bit ``ref`` naming
+the span across processes, and a ``parent_ref`` pointing at its parent —
+local or remote. Those three fields are what
+:mod:`repro.obs.distributed` reassembles a cross-process tree from; the
+local integer ``span_id``/``parent_id`` pair stays exactly as before, so
+single-process traces and their JSONL format are unchanged.
 """
 
 from __future__ import annotations
@@ -19,6 +30,8 @@ import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, TextIO
+
+from .context import IdSource, TraceContext
 
 __all__ = ["Span", "Tracer", "NullTracer", "render_spans"]
 
@@ -33,6 +46,10 @@ class Span:
     start: float
     end: float | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    # Distributed identity (set only by a tracer with an IdSource):
+    trace_id: str | None = None
+    ref: str | None = None          # this span's cross-process id
+    parent_ref: str | None = None   # parent's ref — local or remote
 
     @property
     def duration(self) -> float:
@@ -43,8 +60,15 @@ class Span:
         """Attach attributes after the span was opened."""
         self.attrs.update(attrs)
 
+    @property
+    def context(self) -> TraceContext | None:
+        """This span as a propagable context (None without distributed ids)."""
+        if self.trace_id is None or self.ref is None:
+            return None
+        return TraceContext(trace_id=self.trace_id, span_id=self.ref)
+
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "kind": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -53,6 +77,14 @@ class Span:
             "end": self.end,
             "attrs": self.attrs,
         }
+        # Emitted only in distributed mode: plain traces stay byte-stable.
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+        if self.ref is not None:
+            data["ref"] = self.ref
+        if self.parent_ref is not None:
+            data["parent_ref"] = self.parent_ref
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Span":
@@ -63,6 +95,9 @@ class Span:
             start=data["start"],
             end=data["end"],
             attrs=dict(data.get("attrs") or {}),
+            trace_id=data.get("trace_id"),
+            ref=data.get("ref"),
+            parent_ref=data.get("parent_ref"),
         )
 
 
@@ -117,15 +152,36 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, time_source: Callable[[], float] = time.perf_counter):
+    def __init__(self, time_source: Callable[[], float] = time.perf_counter,
+                 *, ids: IdSource | None = None, segment: str = "local",
+                 max_spans: int | None = None):
         self._time = time_source
         self._stack: list[Span] = []
         self.spans: list[Span] = []  # in start order; finished spans have `end`
         self._next_id = 0
+        self.ids = ids
+        self.segment = segment
+        self.max_spans = max_spans
 
-    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
-        """Open a child span of the currently-active span."""
-        parent = self._stack[-1].span_id if self._stack else None
+    def span(self, name: str, *, ctx: TraceContext | None = None,
+             root: bool = False, **attrs: Any) -> _ActiveSpan:
+        """Open a child span of the currently-active span.
+
+        ``ctx`` — a remote parent (e.g. parsed off an ``X-Repro-Trace``
+        header) — overrides the local stack for the span's *distributed*
+        parentage; the local parent/child ids are recorded regardless.
+        Only meaningful on a tracer holding an :class:`IdSource`.
+
+        ``root=True`` ignores the local stack entirely: the span is a
+        top-level request boundary (parented only by ``ctx``, if any).
+        The async servers need this — their tracer is shared by every
+        task on the event loop, so an unrelated request landing while
+        another is awaiting would otherwise inherit that request's span
+        (and its trace id) off the stack.
+        """
+        parent_span = (None if root
+                       else self._stack[-1] if self._stack else None)
+        parent = parent_span.span_id if parent_span is not None else None
         span = Span(
             span_id=self._next_id,
             parent_id=parent,
@@ -133,10 +189,54 @@ class Tracer:
             start=self._time(),
             attrs=attrs,
         )
+        if self.ids is not None:
+            if ctx is not None:
+                span.trace_id = ctx.trace_id
+                span.parent_ref = ctx.span_id
+            elif parent_span is not None and parent_span.trace_id is not None:
+                span.trace_id = parent_span.trace_id
+                span.parent_ref = parent_span.ref
+            else:
+                span.trace_id = self.ids.trace_id()
+            span.ref = self.ids.span_id()
         self._next_id += 1
         self.spans.append(span)
         self._stack.append(span)
+        if self.max_spans is not None and len(self.spans) > self.max_spans:
+            self._evict()
         return _ActiveSpan(self, span)
+
+    def _evict(self) -> None:
+        """Drop the oldest *finished* spans down to the bound.
+
+        Open spans are kept no matter how old: they are still on the
+        stack and their ``end`` is pending. A long-running daemon with
+        ``max_spans`` set therefore holds a sliding window of recent
+        request trees instead of growing without bound.
+        """
+        excess = len(self.spans) - self.max_spans
+        if excess <= 0:
+            return
+        keep: list[Span] = []
+        dropped = 0
+        for span in self.spans:
+            if dropped < excess and span.end is not None:
+                dropped += 1
+                continue
+            keep.append(span)
+        self.spans = keep
+
+    def spans_for(self, trace_id: str) -> list[Span]:
+        """Every retained span stamped with ``trace_id``, in start order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids among retained spans, oldest first."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            if span.trace_id is not None:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
 
     def _finish(self, span: Span, exc: BaseException | None) -> None:
         span.end = self._time()
@@ -172,9 +272,18 @@ class NullTracer:
 
     enabled = False
     spans: tuple[Span, ...] = ()
+    ids = None
+    segment = "local"
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:
+    def span(self, name: str, *, ctx: TraceContext | None = None,
+             root: bool = False, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def spans_for(self, trace_id: str) -> list[Span]:
+        return []
+
+    def trace_ids(self) -> list[str]:
+        return []
 
     def to_dicts(self) -> list[dict[str, Any]]:
         return []

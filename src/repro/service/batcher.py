@@ -38,11 +38,17 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..constraints.algebra import Constraint
 from ..core.resilience import Clock, SystemClock
 from ..errors import ReproError
+from ..obs.context import (
+    TraceContext,
+    current_trace_context,
+    use_trace_context,
+)
 from .registry import SpecEntry, SpecRegistry
 
 __all__ = [
@@ -92,6 +98,9 @@ class _Request:
     enqueued_at: float
     deadline: float | None  # seconds from enqueue, on the injectable clock
     seed: int | None = None
+    # The submitter's trace context, captured at submit() time (the HTTP
+    # request span). The batch span links every waiter through these.
+    ctx: TraceContext | None = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and (now - self.enqueued_at) > self.deadline
@@ -233,6 +242,7 @@ class VerifyBatcher:
             enqueued_at=self.clock.now(),
             deadline=deadline,
             seed=seed,
+            ctx=current_trace_context(),
         )
         self._pending.setdefault(entry.key, []).append(request)
         self._depth += cost
@@ -356,15 +366,43 @@ class VerifyBatcher:
 
         entry = live[0].entry
         loop = asyncio.get_running_loop()
-        try:
-            results = await loop.run_in_executor(
-                self.executor, self._verify_batch, entry, list(unique)
+        # One batch span covering the whole dispatch. Its distributed
+        # parent is the first waiter's request span; every other waiter
+        # is linked through the ``links`` attribute — the cross-request
+        # record of who coalesced into this batch.
+        tracer = getattr(self.obs, "tracer", None)
+        primary = next((r.ctx for r in live if r.ctx is not None), None)
+        span_cm = (
+            tracer.span(
+                "service.verify.batch", ctx=primary, key=key,
+                waiters=len(live), unique=len(unique),
             )
-        except BaseException as exc:  # compile/verify failure fails the batch
-            for request in live:
-                if not request.future.cancelled():
-                    request.future.set_exception(exc)
-            return
+            if tracer is not None else nullcontext(None)
+        )
+        with span_cm as batch_span:
+            links = [
+                r.ctx.span_id for r in live
+                if r.ctx is not None and r.ctx is not primary
+            ]
+            if batch_span is not None and links:
+                batch_span.annotate(links=links)
+            batch_ctx = getattr(batch_span, "context", None)
+            started = loop.time()
+            try:
+                results = await loop.run_in_executor(
+                    self.executor, self._verify_batch, entry, list(unique),
+                    batch_ctx,
+                )
+            except BaseException as exc:  # compile/verify failure fails batch
+                for request in live:
+                    if not request.future.cancelled():
+                        request.future.set_exception(exc)
+                return
+            finally:
+                # The exemplar makes this histogram name the spec it was
+                # slow for — "top-k slowest specs" in ``repro top``.
+                self._observe("service.verify.batch_latency",
+                              loop.time() - started, exemplar=key)
         by_prop = dict(zip(unique, results))
         for request in live:
             if not request.future.cancelled():
@@ -372,8 +410,15 @@ class VerifyBatcher:
                     [by_prop[(prop, request.seed)] for prop in request.props]
                 )
 
-    def _verify_batch(self, entry: SpecEntry, keyed_props: list) -> list:
-        """Runs on the executor thread: one batched verification fan-out."""
+    def _verify_batch(self, entry: SpecEntry, keyed_props: list,
+                      ctx: TraceContext | None = None) -> list:
+        """Runs on the executor thread: one batched verification fan-out.
+
+        ``ctx`` — the batch span's context — is installed for the
+        duration, so the ``parallel.*`` spans recorded by
+        :mod:`repro.core.parallel` hang under the batch span in the
+        distributed tree even though they run on a different thread.
+        """
         from ..core.verify import verify_properties
 
         spec = entry.spec
@@ -383,15 +428,16 @@ class VerifyBatcher:
         by_seed: OrderedDict[int | None, list[int]] = OrderedDict()
         for index, (_, seed) in enumerate(keyed_props):
             by_seed.setdefault(seed, []).append(index)
-        for seed, indices in by_seed.items():
-            verdicts = verify_properties(
-                spec.goal, list(spec.constraints),
-                [keyed_props[i][0] for i in indices],
-                rules=spec.rules, cache=self.registry.cache,
-                jobs=self.jobs, seed=seed,
-            )
-            for index, verdict in zip(indices, verdicts):
-                results[index] = verdict
+        with use_trace_context(ctx):
+            for seed, indices in by_seed.items():
+                verdicts = verify_properties(
+                    spec.goal, list(spec.constraints),
+                    [keyed_props[i][0] for i in indices],
+                    rules=spec.rules, cache=self.registry.cache,
+                    jobs=self.jobs, seed=seed, obs=self.obs,
+                )
+                for index, verdict in zip(indices, verdicts):
+                    results[index] = verdict
         return results
 
     # -- metrics helpers ------------------------------------------------------
@@ -404,6 +450,7 @@ class VerifyBatcher:
         if self.obs is not None and self.obs.metrics is not None:
             self.obs.metrics.set_gauge(name, value)
 
-    def _observe(self, name: str, value: float) -> None:
+    def _observe(self, name: str, value: float,
+                 exemplar: str | None = None) -> None:
         if self.obs is not None and self.obs.metrics is not None:
-            self.obs.metrics.observe(name, value)
+            self.obs.metrics.observe(name, value, exemplar=exemplar)

@@ -34,18 +34,35 @@ import time
 from typing import Any
 
 from ..errors import ReproError
+from ..obs.context import (
+    TRACE_HEADER,
+    IdSource,
+    TraceContext,
+    current_trace_context,
+    format_trace_header,
+)
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
 
 class ServiceClientError(ReproError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, payload: Any):
+    ``request_id`` is the server's ``X-Repro-Request-Id`` for the failed
+    exchange (None when the response never arrived) — quote it when
+    filing a bug against a daemon's logs.
+    """
+
+    def __init__(self, status: int, payload: Any,
+                 request_id: str | None = None):
         self.status = status
         self.payload = payload
+        self.request_id = request_id
         message = payload.get("error") if isinstance(payload, dict) else None
-        super().__init__(message or f"service returned HTTP {status}")
+        detail = f" [request {request_id}]" if request_id else ""
+        super().__init__(
+            (message or f"service returned HTTP {status}") + detail
+        )
 
 
 class ServiceClient:
@@ -63,7 +80,8 @@ class ServiceClient:
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
                  *, tenant: str | None = None, retries: int = 1,
-                 backoff: float = 0.05, seed: int | None = None):
+                 backoff: float = 0.05, seed: int | None = None,
+                 ids: IdSource | None = None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff < 0:
@@ -74,6 +92,14 @@ class ServiceClient:
         self.tenant = tenant
         self.retries = retries
         self.backoff = backoff
+        #: With an IdSource the client *originates* traces: every request
+        #: carries an ``X-Repro-Trace`` header (fresh trace id per call,
+        #: unless an ambient context is already installed) and the last
+        #: minted trace id is kept on :attr:`last_trace_id` for
+        #: ``repro trace fetch``.
+        self.ids = ids
+        self.last_trace_id: str | None = None
+        self.last_request_id: str | None = None
         self._rng = random.Random(seed)
         self._sleep = time.sleep  # test seam
         self._conn: http.client.HTTPConnection | None = None
@@ -103,6 +129,14 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"} if payload else {}
         if self.tenant is not None:
             headers["X-Repro-Tenant"] = self.tenant
+        ctx = current_trace_context()
+        if ctx is None and self.ids is not None:
+            ctx = TraceContext(
+                trace_id=self.ids.trace_id(), span_id=self.ids.span_id()
+            )
+        if ctx is not None:
+            headers[TRACE_HEADER] = format_trace_header(ctx)
+            self.last_trace_id = ctx.trace_id
         attempt = 0
         while True:
             attempt += 1
@@ -133,12 +167,14 @@ class ServiceClient:
                 self._backoff_sleep(attempt)
         raw = response.read()
         content_type = response.headers.get("Content-Type", "")
+        self.last_request_id = response.headers.get("X-Repro-Request-Id")
         if content_type.startswith("application/json"):
             data = json.loads(raw) if raw else {}
         else:
             data = raw.decode("utf-8")
         if response.status >= 400:
-            raise ServiceClientError(response.status, data)
+            raise ServiceClientError(response.status, data,
+                                     request_id=self.last_request_id)
         return data
 
     def _backoff_sleep(self, attempt: int) -> None:
@@ -173,6 +209,24 @@ class ServiceClient:
 
     def specs(self) -> list[dict]:
         return self._request("GET", "/specs")["specs"]
+
+    def traces(self) -> list[str]:
+        """Trace ids the daemon (or router sink) has retained."""
+        return self._request("GET", "/traces")["traces"]
+
+    def trace(self, trace_id: str) -> dict:
+        """One trace: the span segment(s) the far end holds for it."""
+        return self._request("GET", f"/traces/{trace_id}")
+
+    def cluster_status(self) -> dict:
+        """The router's fleet view: workers, ring, admission, SLOs."""
+        return self._request("GET", "/cluster/status")
+
+    def cluster_metrics(self, format: str = "text"):
+        """The federated exposition (totals + router + every live
+        worker): Prometheus text, or the dict form with ``format="json"``."""
+        suffix = "?format=json" if format == "json" else ""
+        return self._request("GET", "/cluster/metrics" + suffix)
 
     def register(self, name: str, text: str) -> dict:
         # Not marked idempotent: a re-sent registration racing a

@@ -28,9 +28,25 @@ import json
 
 from ..errors import ReproError
 from ..obs.config import Observability
+from ..obs.context import (
+    IdSource,
+    parse_trace_header,
+    reset_trace_context,
+    set_trace_context,
+)
 from ..obs.metrics import MetricsRegistry
 
-__all__ = ["HttpError", "HttpServerBase", "json_body", "MAX_BODY_BYTES"]
+__all__ = [
+    "HttpError",
+    "HttpServerBase",
+    "json_body",
+    "MAX_BODY_BYTES",
+    "REQUEST_ID_HEADER",
+]
+
+#: Every response carries one: echoed when the client supplied it,
+#: minted otherwise — the correlation handle for logs and bug reports.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
 
 #: Largest accepted request body; a specification is text, not a payload.
 MAX_BODY_BYTES = 1 << 20
@@ -85,6 +101,10 @@ class HttpServerBase:
         self.obs = obs if obs is not None else Observability(
             metrics=MetricsRegistry()
         )
+        # Request ids come from the tracer's IdSource when tracing is
+        # distributed (so a seeded run mints a replayable id stream), and
+        # from a private source otherwise.
+        self._request_ids = getattr(self.obs.tracer, "ids", None) or IdSource()
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._active_requests = 0
@@ -162,12 +182,12 @@ class HttpServerBase:
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 self._begin_request()
                 try:
-                    status, payload, content_type = await self._route(
+                    status, payload, content_type, extra = await self._route(
                         method, path, query, headers, body
                     )
                     await self._write_response(
                         writer, status, payload, content_type,
-                        keep_alive=keep_alive,
+                        keep_alive=keep_alive, extra_headers=extra,
                     )
                 finally:
                     self._end_request()
@@ -184,17 +204,24 @@ class HttpServerBase:
                 pass
 
     async def _write_response(self, writer, status, payload, content_type,
-                              keep_alive: bool) -> None:
+                              keep_alive: bool,
+                              extra_headers: dict[str, str] | None = None,
+                              ) -> None:
         raw = (
             payload.encode("utf-8")
             if isinstance(payload, str)
             else json.dumps(payload, default=str).encode("utf-8")
+        )
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
         )
         writer.write(
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(raw)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n".encode("ascii")
         )
         writer.write(raw)
@@ -243,38 +270,72 @@ class HttpServerBase:
     # -- routing --------------------------------------------------------------
 
     async def _route(self, method, path, query, headers, body):
-        """Dispatch; returns (status, payload, content-type)."""
+        """Dispatch; returns (status, payload, content-type, extra headers).
+
+        Besides the route table this is where a request's observability
+        identity is established: the ``X-Repro-Trace`` header (if any)
+        becomes the remote parent of the ``http.<endpoint>`` span, the
+        span's own context is installed in the task-local contextvar so
+        everything the handler awaits inherits it, and the request id is
+        echoed (or minted) into the response headers. The span records
+        the outcome either way — ``status`` always, ``error_type`` on
+        failures.
+        """
         endpoint = path.strip("/").replace("/", ".") or "root"
         metrics = self.obs.metrics
         started = asyncio.get_running_loop().time()
-        span = self.obs.tracer.span(f"http.{endpoint}", method=method)
+        ctx = parse_trace_header(headers.get("x-repro-trace"))
+        request_id = (
+            headers.get("x-repro-request-id", "").strip()
+            or self._request_ids.request_id()
+        )
+        error_type: str | None = None
+        token = None
         try:
-            with span:
-                status, payload, content_type = await self._handle(
-                    method, path, query, headers, body
-                )
-        except HttpError as exc:
-            status, payload, content_type = (
-                exc.status, exc.payload, "application/json",
-            )
-        except ReproError as exc:
-            status = self._error_status(exc)
-            payload = {"error": str(exc), "kind": type(exc).__name__}
-            content_type = "application/json"
-        except Exception as exc:  # never kill the connection loop
-            status = 500
-            payload = {"error": str(exc), "kind": type(exc).__name__}
-            content_type = "application/json"
+            with self.obs.tracer.span(
+                f"http.{endpoint}", method=method, ctx=ctx, root=True
+            ) as span:
+                own_ctx = getattr(span, "context", None)
+                if own_ctx is not None:
+                    token = set_trace_context(own_ctx)
+                try:
+                    status, payload, content_type = await self._handle(
+                        method, path, query, headers, body
+                    )
+                except HttpError as exc:
+                    status, payload, content_type = (
+                        exc.status, exc.payload, "application/json",
+                    )
+                    error_type = type(exc).__name__
+                except ReproError as exc:
+                    status = self._error_status(exc)
+                    payload = {"error": str(exc), "kind": type(exc).__name__}
+                    content_type = "application/json"
+                    error_type = type(exc).__name__
+                except Exception as exc:  # never kill the connection loop
+                    status = 500
+                    payload = {"error": str(exc), "kind": type(exc).__name__}
+                    content_type = "application/json"
+                    error_type = type(exc).__name__
+                span.annotate(status=status)
+                if error_type is not None:
+                    span.annotate(error_type=error_type)
+        finally:
+            if token is not None:
+                reset_trace_context(token)
+        latency = asyncio.get_running_loop().time() - started
         if metrics is not None:
             prefix = self.metrics_prefix
             metrics.inc(f"{prefix}.http.{endpoint}.requests")
             if status >= 400:
                 metrics.inc(f"{prefix}.http.{endpoint}.errors")
-            metrics.observe(
-                f"{prefix}.http.{endpoint}.latency",
-                asyncio.get_running_loop().time() - started,
-            )
-        return status, payload, content_type
+            metrics.observe(f"{prefix}.http.{endpoint}.latency", latency)
+        self._observe_outcome(endpoint, status, latency)
+        return status, payload, content_type, {REQUEST_ID_HEADER: request_id}
+
+    def _observe_outcome(self, endpoint: str, status: int,
+                         latency: float) -> None:
+        """Per-request hook; the router feeds its SLO monitor here."""
 
     async def _handle(self, method, path, query, headers, body):
         raise NotImplementedError

@@ -10,6 +10,8 @@ method    path               semantics
 GET       ``/healthz``       liveness + registry/queue snapshot
 GET       ``/metrics``       Prometheus text exposition (``?format=json`` too)
 GET       ``/specs``         the registered specifications
+GET       ``/traces``        retained distributed trace ids
+GET       ``/traces/<id>``   this process's span segment for one trace
 POST      ``/specs``         register/replace ``{"name": ..., "text": ...}``
 POST      ``/compile``       compile; sizes, consistency, pretty goal
 POST      ``/consistency``   Theorem 5.8 for ``{"spec": name}`` or ``{"text"}``
@@ -162,6 +164,21 @@ class VerificationService(HttpServerBase):
             if query.get("format") == "json":
                 return 200, registry.to_dict(), "application/json"
             return 200, registry.render_prometheus(), "text/plain; version=0.0.4"
+        if path == "/traces" and method == "GET":
+            return 200, {"traces": self.obs.tracer.trace_ids()}, \
+                "application/json"
+        if path.startswith("/traces/") and method == "GET":
+            from ..obs.distributed import segment_spans
+
+            trace_id = path[len("/traces/"):]
+            spans = self.obs.tracer.spans_for(trace_id)
+            return 200, {
+                "trace_id": trace_id,
+                "segment": getattr(self.obs.tracer, "segment", "local"),
+                "spans": segment_spans(
+                    spans, getattr(self.obs.tracer, "segment", "local")
+                ),
+            }, "application/json"
         if path == "/specs" and method == "GET":
             specs = []
             for name in self.registry.names():
@@ -183,7 +200,7 @@ class VerificationService(HttpServerBase):
         if method != "POST" or path not in (
             "/compile", "/consistency", "/verify", "/schedule"
         ):
-            known = ("/healthz", "/metrics", "/specs", "/compile",
+            known = ("/healthz", "/metrics", "/specs", "/traces", "/compile",
                      "/consistency", "/verify", "/schedule")
             if path in known:
                 raise HttpError(405, f"method {method} not allowed on {path}")

@@ -66,7 +66,7 @@ class TestAccounting:
         snap = controller.snapshot()
         assert snap["capacity"] == 8
         assert snap["in_flight"] == 2
-        assert snap["tenants"]["a"] == {"usage": 2, "share": 2}
+        assert snap["tenants"]["a"] == {"usage": 2, "share": 2, "shed": 0}
         assert snap["admitted"] == 1 and snap["shed"] == 0
 
     def test_validation(self):

@@ -1,0 +1,91 @@
+"""Trace context: id minting, header wire format, in-process carrier."""
+
+from repro.obs.context import (
+    TRACE_HEADER,
+    IdSource,
+    TraceContext,
+    current_trace_context,
+    format_trace_header,
+    parse_trace_header,
+    reset_trace_context,
+    set_trace_context,
+    use_trace_context,
+)
+
+
+class TestIdSource:
+    def test_seeded_sources_mint_identical_streams(self):
+        a, b = IdSource(seed=7), IdSource(seed=7)
+        assert [a.trace_id(), a.span_id(), a.request_id()] == [
+            b.trace_id(), b.span_id(), b.request_id()
+        ]
+
+    def test_different_seeds_diverge(self):
+        assert IdSource(seed=1).trace_id() != IdSource(seed=2).trace_id()
+
+    def test_id_shapes(self):
+        ids = IdSource(seed=0)
+        trace_id, span_id = ids.trace_id(), ids.span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+        assert trace_id == trace_id.lower()
+
+
+class TestHeaderFormat:
+    def test_roundtrip(self):
+        ids = IdSource(seed=3)
+        ctx = TraceContext(trace_id=ids.trace_id(), span_id=ids.span_id())
+        assert parse_trace_header(format_trace_header(ctx)) == ctx
+        assert format_trace_header(ctx).startswith("00-")
+        assert format_trace_header(ctx).endswith("-01")
+
+    def test_header_name(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+    def test_malformed_headers_drop_to_none(self):
+        good = format_trace_header(
+            TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        )
+        assert parse_trace_header(good) is not None
+        for bad in [
+            None,
+            "",
+            "garbage",
+            "00-abc-def-01",                       # wrong lengths
+            good.replace("00-", "ff-"),            # unknown version
+            good.replace("ab", "zz"),              # non-hex
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # all-zero trace
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span
+            good + "-extra",
+        ]:
+            assert parse_trace_header(bad) is None, bad
+
+    def test_parse_tolerates_whitespace_and_case(self):
+        ctx = TraceContext(trace_id="AB" * 16, span_id="CD" * 8)
+        parsed = parse_trace_header(" " + format_trace_header(ctx) + " ")
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16  # normalized to lowercase
+
+
+class TestCarrier:
+    def test_default_is_none(self):
+        assert current_trace_context() is None
+
+    def test_set_and_reset(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        token = set_trace_context(ctx)
+        try:
+            assert current_trace_context() is ctx
+        finally:
+            reset_trace_context(token)
+        assert current_trace_context() is None
+
+    def test_use_trace_context_nests_and_restores(self):
+        outer = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        inner = TraceContext(trace_id="ef" * 16, span_id="12" * 8)
+        with use_trace_context(outer):
+            assert current_trace_context() is outer
+            with use_trace_context(inner):
+                assert current_trace_context() is inner
+            assert current_trace_context() is outer
+        assert current_trace_context() is None

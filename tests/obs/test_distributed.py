@@ -1,0 +1,141 @@
+"""Cross-process trace assembly and the on-disk trace sink."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.context import IdSource, TraceContext
+from repro.obs.distributed import (
+    TraceSink,
+    assemble,
+    load_distributed_trace,
+    merge_segments,
+    render_distributed,
+    segment_spans,
+)
+from repro.obs.tracer import Tracer
+
+
+def make_tracer(seed: int, segment: str) -> Tracer:
+    counter = iter(range(10_000))
+    return Tracer(time_source=lambda: float(next(counter)),
+                  ids=IdSource(seed=seed), segment=segment)
+
+
+def two_process_trace():
+    """A router span with a remote worker child, as two segments."""
+    router = make_tracer(1, "router")
+    with router.span("http.verify") as parent:
+        remote_ctx = TraceContext(trace_id=parent.trace_id,
+                                  span_id=parent.ref)
+    worker = make_tracer(2, "w0")
+    with worker.span("http.verify", ctx=remote_ctx):
+        with worker.span("service.verify.batch"):
+            pass
+    return (segment_spans(router.spans, "router"),
+            segment_spans(worker.spans, "w0"))
+
+
+class TestSegments:
+    def test_segment_spans_tags_every_span(self):
+        tracer = make_tracer(1, "w3")
+        with tracer.span("a"):
+            pass
+        spans = segment_spans(tracer.spans, "w3")
+        assert [s["segment"] for s in spans] == ["w3"]
+        assert spans[0]["name"] == "a" and spans[0]["ref"]
+
+    def test_merge_deduplicates_on_segment_and_ref(self):
+        router_seg, worker_seg = two_process_trace()
+        merged = merge_segments(router_seg, worker_seg, worker_seg)
+        assert len(merged) == len(router_seg) + len(worker_seg)
+
+    def test_same_ref_in_different_segments_is_kept(self):
+        # Identical seeds mint identical refs; distinct segments must
+        # still both survive the merge.
+        a = make_tracer(5, "w0")
+        b = make_tracer(5, "w1")
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        merged = merge_segments(segment_spans(a.spans, "w0"),
+                                segment_spans(b.spans, "w1"))
+        assert len(merged) == 2
+
+
+class TestAssemble:
+    def test_cross_process_parentage(self):
+        router_seg, worker_seg = two_process_trace()
+        roots = assemble(merge_segments(router_seg, worker_seg))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["segment"] == "router"
+        assert [c["segment"] for c in root["children"]] == ["w0"]
+        grandchildren = root["children"][0]["children"]
+        assert [g["name"] for g in grandchildren] == ["service.verify.batch"]
+
+    def test_missing_parent_degrades_to_forest(self):
+        _, worker_seg = two_process_trace()
+        roots = assemble(worker_seg)  # router segment never arrived
+        assert len(roots) == 1
+        assert roots[0]["segment"] == "w0"
+
+    def test_sibling_order_is_deterministic(self):
+        router = make_tracer(1, "router")
+        with router.span("parent") as parent:
+            ctx = TraceContext(trace_id=parent.trace_id, span_id=parent.ref)
+        segs = [segment_spans(router.spans, "router")]
+        for i in (1, 0):  # build out of order on purpose
+            worker = make_tracer(10 + i, f"w{i}")
+            with worker.span("child", ctx=ctx):
+                pass
+            segs.append(segment_spans(worker.spans, f"w{i}"))
+        roots = assemble(merge_segments(*segs))
+        assert [c["segment"] for c in roots[0]["children"]] == ["w0", "w1"]
+
+
+class TestRender:
+    def test_render_shows_segments_and_nesting(self):
+        router_seg, worker_seg = two_process_trace()
+        text = render_distributed(merge_segments(router_seg, worker_seg))
+        lines = text.splitlines()
+        assert lines[0].startswith("http.verify @router")
+        assert lines[1].startswith("  http.verify @w0")
+        assert lines[2].startswith("    service.verify.batch @w0")
+
+    def test_render_empty(self):
+        assert render_distributed([]) == "(no spans)"
+
+
+class TestTraceSink:
+    def test_write_read_roundtrip(self, tmp_path):
+        sink = TraceSink(tmp_path)
+        router_seg, worker_seg = two_process_trace()
+        spans = merge_segments(router_seg, worker_seg)
+        trace_id = spans[0]["trace_id"]
+        path = sink.write(trace_id, spans)
+        assert path.name == f"{trace_id}.trace.jsonl"
+        assert sink.read(trace_id) == spans
+        assert load_distributed_trace(path) == spans
+        assert sink.trace_ids() == [trace_id]
+
+    def test_eviction_keeps_newest(self, tmp_path):
+        import os
+
+        sink = TraceSink(tmp_path, max_traces=2)
+        ids = [f"{i:032x}" for i in range(1, 4)]
+        for i, trace_id in enumerate(ids):
+            path = sink.write(trace_id, [{"name": "x"}])
+            os.utime(path, (i, i))  # deterministic mtime ordering
+        sink._evict()
+        assert sink.trace_ids() == ids[1:]
+
+    def test_invalid_trace_id_rejected(self, tmp_path):
+        sink = TraceSink(tmp_path)
+        for bad in ["", "../evil", "ABC", "xyz"]:
+            with pytest.raises(ReproError):
+                sink.write(bad, [])
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            TraceSink(tmp_path).read("ab" * 16)

@@ -76,3 +76,85 @@ class TestRegistry:
         text = registry.render()
         assert "engine.attempts" in text
         assert "latency.a" in text
+
+
+class TestPrometheusExposition:
+    def test_name_sanitization(self):
+        from repro.obs.metrics import prometheus_name
+
+        assert prometheus_name("service.verify.batches") == \
+            "service_verify_batches"
+        assert prometheus_name("weird name!") == "weird_name_"
+        assert prometheus_name("0leading") == "_0leading"
+        assert prometheus_name("") == "_"
+        assert prometheus_name("ok:colon_9") == "ok:colon_9"
+
+    def test_label_value_escaping(self):
+        from repro.obs.metrics import escape_label_value, format_labels
+
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        rendered = format_labels({"worker": 'w"0', "zone": "a\\b"})
+        assert rendered == '{worker="w\\"0",zone="a\\\\b"}'
+        assert format_labels({}) == "" and format_labels(None) == ""
+
+    def test_zero_sample_histogram_renders_count_and_sum(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.latency")  # created, never observed
+        text = registry.render_prometheus()
+        assert "# TYPE empty_latency summary\n" in text
+        assert "empty_latency_count 0\n" in text
+        assert "empty_latency_sum 0.0\n" in text
+        assert 'quantile' not in text  # no samples, no quantile series
+
+    def test_counters_gauges_histograms_with_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 3)
+        registry.set_gauge("depth", 2.5)
+        for v in (0.1, 0.2, 0.3):
+            registry.observe("lat", v)
+        text = registry.render_prometheus(labels={"worker": "w0"})
+        assert '# TYPE hits counter\nhits{worker="w0"} 3\n' in text
+        assert '# TYPE depth gauge\ndepth{worker="w0"} 2.5\n' in text
+        assert 'lat_count{worker="w0"} 3\n' in text
+        assert 'lat{quantile="0.95",worker="w0"}' in text
+
+    def test_federated_exposition(self):
+        from repro.obs.metrics import (render_federated_prometheus,
+                                       sum_scrapes)
+
+        w0 = {"counters": {"hits": 2}, "gauges": {},
+              "histograms": {"lat": {"count": 1, "total": 0.5, "p95": 0.5}}}
+        w1 = {"counters": {"hits": 3}, "gauges": {},
+              "histograms": {"lat": {"count": 2, "total": 1.0, "p95": 0.6}}}
+        scrapes = {"w1": w1, "w0": w0}
+        totals = sum_scrapes(scrapes)
+        assert totals["counters"] == {"hits": 5}
+        assert totals["histograms"]["lat"] == {"count": 3, "total": 1.5}
+        assert totals["gauges"] == {}
+
+        text = render_federated_prometheus(
+            scrapes, totals, {"counters": {"routed": 7}, "gauges": {},
+                              "histograms": {}}
+        )
+        # TYPE lines appear once (the totals section), labeled series after.
+        assert text.count("# TYPE hits counter") == 1
+        assert "hits 5\n" in text
+        assert 'hits{worker="w0"} 2\n' in text
+        assert 'hits{worker="w1"} 3\n' in text
+        assert 'routed{worker="router"} 7\n' in text
+        # Workers render in sorted id order.
+        assert text.index('worker="w0"') < text.index('worker="w1"')
+
+    def test_exemplars_kept_largest_first(self):
+        from repro.obs.metrics import MAX_EXEMPLARS
+
+        registry = MetricsRegistry()
+        for i in range(20):
+            registry.observe("lat", float(i), exemplar=f"spec{i}")
+        summary = registry.histogram("lat").summary()
+        exemplars = summary["exemplars"]
+        assert len(exemplars) == MAX_EXEMPLARS
+        assert exemplars[0] == [19.0, "spec19"]
+        assert [v for v, _ in exemplars] == sorted(
+            (v for v, _ in exemplars), reverse=True
+        )

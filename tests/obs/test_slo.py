@@ -1,0 +1,84 @@
+"""SLO monitor: sliding-window objective evaluation and burn rates."""
+
+import pytest
+
+from repro.core.resilience import VirtualClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOMonitor
+
+
+def availability_monitor(target=0.9, **kwargs):
+    objective = SLObjective(name="avail", kind="availability", target=target)
+    return SLOMonitor([objective], clock=VirtualClock(), **kwargs)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="uptime", target=0.5)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="availability", target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="availability", target=0.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="latency", target=0.9)  # no threshold
+
+    def test_goodness(self):
+        avail = SLObjective(name="a", kind="availability", target=0.9)
+        assert avail.good(True, 100.0) and not avail.good(False, 0.0)
+        lat = SLObjective(name="l", kind="latency", target=0.9, threshold=0.5)
+        assert lat.good(True, 0.4)
+        assert not lat.good(True, 0.6)
+        assert not lat.good(False, 0.1)  # a failed request is never good
+
+    def test_defaults(self):
+        names = [o.name for o in DEFAULT_OBJECTIVES]
+        assert names == ["availability", "latency_p95_500ms"]
+
+
+class TestMonitor:
+    def test_empty_window_is_healthy(self):
+        rows = availability_monitor().evaluate()
+        assert rows[0]["ratio"] == 1.0
+        assert rows[0]["burn_rate"] == 0.0
+        assert rows[0]["met"] is True
+
+    def test_burn_rate_math(self):
+        monitor = availability_monitor(target=0.9)  # error budget = 0.1
+        for _ in range(4):
+            monitor.record(ok=True, latency=0.01)
+        monitor.record(ok=False, latency=0.01)
+        row = monitor.evaluate()[0]
+        assert row["ratio"] == pytest.approx(0.8)
+        assert row["burn_rate"] == pytest.approx(2.0)  # 0.2 / 0.1
+        assert row["budget_remaining"] == pytest.approx(-1.0)
+        assert row["met"] is False
+
+    def test_window_slides(self):
+        monitor = availability_monitor(target=0.9, window=10.0)
+        monitor.record(ok=False, latency=0.0)
+        assert monitor.evaluate()[0]["met"] is False
+        monitor.clock.advance(11.0)
+        monitor.record(ok=True, latency=0.0)
+        row = monitor.evaluate()[0]
+        assert row["events"] == 1 and row["met"] is True
+
+    def test_max_events_bounds_memory(self):
+        monitor = availability_monitor(max_events=3)
+        for _ in range(10):
+            monitor.record(ok=True, latency=0.0)
+        assert monitor.evaluate()[0]["events"] == 3
+
+    def test_snapshot_shape(self):
+        snap = availability_monitor(window=60.0).snapshot()
+        assert snap["window_s"] == 60.0
+        assert isinstance(snap["objectives"], list)
+
+    def test_export_gauges(self):
+        monitor = availability_monitor(target=0.9)
+        monitor.record(ok=False, latency=0.0)
+        metrics = MetricsRegistry()
+        monitor.export_gauges(metrics)
+        assert metrics.gauge("slo.avail.ratio").value == 0.0
+        assert metrics.gauge("slo.avail.burn_rate").value == 10.0
+        monitor.export_gauges(None)  # metrics disabled: a no-op, not a crash

@@ -1,0 +1,113 @@
+"""``repro top``: the frame renderer and the polling loop's edges."""
+
+import io
+
+from repro.obs.top import render_top, run_top
+
+STATUS = {
+    "workers": [
+        {"worker": "w0", "healthy": True, "restarts": 0,
+         "breaker": {"state": "closed", "failures": 0}},
+        {"worker": "w1", "healthy": False, "restarts": 3,
+         "breaker": {"state": "open", "failures": 5}},
+    ],
+    "ring": ["w0"],
+    "replicas": 2,
+    "slo": {
+        "window_s": 300.0,
+        "objectives": [
+            {"name": "availability", "ratio": 0.875, "target": 0.999,
+             "burn_rate": 125.0, "met": False},
+            {"name": "latency_p95_500ms", "ratio": 1.0, "target": 0.95,
+             "burn_rate": 0.0, "met": True},
+        ],
+    },
+    "admission": {
+        "capacity": 8.0, "in_flight": 2.0, "admitted": 41, "shed": 3,
+        "tenants": {
+            "acme": {"usage": 2.0, "share": 2.0, "shed": 3},
+        },
+    },
+}
+
+METRICS = {
+    "workers": {
+        "w0": {
+            "counters": {},
+            "histograms": {
+                "service.http.verify.latency": {"count": 5, "p95": 0.012},
+                "service.verify.batch_latency": {
+                    "count": 5,
+                    "exemplars": [[0.41, "orders@3"], [0.09, "claims@1"]],
+                },
+            },
+        },
+    },
+    "totals": {
+        "counters": {"service.verify.submitted": 20,
+                     "service.verify.coalesced": 5},
+    },
+    "router": {
+        "counters": {"cluster.router.forwarded": 18,
+                     "cluster.router.failovers": 2,
+                     "cluster.router.hedges": 4,
+                     "cluster.router.hedge_wins": 1},
+    },
+}
+
+
+class TestRenderTop:
+    def test_frame_sections(self):
+        frame = render_top(STATUS, METRICS, address="127.0.0.1:8745")
+        lines = frame.splitlines()
+        assert lines[0] == "repro top — cluster @ 127.0.0.1:8745"
+        assert "workers 1/2 healthy" in lines[1]
+        assert any("w0" in l and "UP" in l and "closed" in l
+                   and "12.0ms" in l for l in lines)
+        assert any("w1" in l and "DOWN" in l and "open" in l
+                   and "restarts=3" in l for l in lines)
+
+    def test_slo_rows(self):
+        frame = render_top(STATUS, METRICS)
+        assert "slo (window 300s)" in frame
+        assert any("availability" in l and "MISS" in l
+                   for l in frame.splitlines())
+        assert any("latency_p95_500ms" in l and "OK" in l
+                   for l in frame.splitlines())
+
+    def test_admission_rows(self):
+        frame = render_top(STATUS, METRICS)
+        assert any("capacity=8" in l and "shed=3" in l
+                   for l in frame.splitlines())
+        assert any("tenant acme" in l and "usage=2/2" in l and "shed=3" in l
+                   for l in frame.splitlines())
+
+    def test_slowest_specs_from_exemplars(self):
+        frame = render_top(STATUS, METRICS)
+        lines = frame.splitlines()
+        slow = [l for l in lines if "orders@3" in l or "claims@1" in l]
+        assert len(slow) == 2
+        assert lines.index(slow[0]) < lines.index(slow[1])  # slowest first
+        assert "410.0ms" in slow[0] and "@w0" in slow[0]
+
+    def test_traffic_line(self):
+        frame = render_top(STATUS, METRICS)
+        traffic = frame.splitlines()[-1]
+        assert "forwarded=18" in traffic
+        assert "failovers=2" in traffic
+        assert "hedge_wins=25%" in traffic
+        assert "coalesced=25%" in traffic
+
+    def test_degenerate_payloads(self):
+        frame = render_top({}, {})
+        assert "(no workers)" in frame
+        assert "traffic" in frame
+
+
+class TestRunTop:
+    def test_unreachable_router_exits_nonzero(self):
+        out = io.StringIO()
+        # A port from the ephemeral range with nothing bound: connection
+        # refused immediately; run_top must report failure, not hang.
+        assert run_top("127.0.0.1", 1, interval=0.01, iterations=1,
+                       out=out, sleep=lambda s: None) == 1

@@ -71,6 +71,28 @@ class TestTracer:
         assert rebuilt[0].attrs == {"n": 1}
         assert rebuilt[1].parent_id == rebuilt[0].span_id
 
+    def test_root_span_ignores_the_open_stack(self):
+        # An async server's tracer is shared by every task on the loop:
+        # a request landing while another is awaiting must not inherit
+        # that request's span — or its trace id — off the stack.
+        from repro.obs.context import IdSource, TraceContext
+
+        tracer = Tracer(ids=IdSource(seed=3))
+        with tracer.span("http.verify") as busy:
+            with tracer.span("http.healthz", root=True) as interloper:
+                pass
+        assert interloper.parent_id is None
+        assert interloper.parent_ref is None
+        assert interloper.trace_id != busy.trace_id
+        # An explicit remote parent still wins over rootness.
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with tracer.span("outer"):
+            with tracer.span("http.verify", ctx=ctx, root=True) as joined:
+                pass
+        assert joined.parent_id is None
+        assert joined.trace_id == ctx.trace_id
+        assert joined.parent_ref == ctx.span_id
+
     def test_render_collapses_sibling_runs(self):
         tracer = Tracer()
         with tracer.span("run"):
