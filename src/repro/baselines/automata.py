@@ -22,14 +22,37 @@ space — grows multiplicatively: the state-explosion of benchmark E7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..constraints.algebra import And, Constraint, Primitive, SerialConstraint
 from ..constraints.normalize import normalize
+from ..errors import SpecificationError
 
 __all__ = ["ConstraintAutomaton", "ProductAutomaton"]
 
 _VIOLATED = -1
+
+
+def check_unique_serials(constraint: Constraint) -> None:
+    """Reject serial constraints that repeat an event.
+
+    The sink-state encoding below (and the kernel's position tables)
+    assumes unique events: a repeated event would match the wrong prefix
+    position and the DFA would silently accept violating sequences.
+    :class:`~repro.constraints.algebra.SerialConstraint` already refuses
+    duplicates at construction; this guards constraints deserialized or
+    built around ``__post_init__``.
+    """
+    if isinstance(constraint, SerialConstraint):
+        if len(set(constraint.events)) != len(constraint.events):
+            raise SpecificationError(
+                "serial constraint repeats an event, violating the "
+                "unique-event assumption the automaton encoding relies on: "
+                f"{constraint}"
+            )
+    elif not isinstance(constraint, Primitive):
+        for part in constraint.parts:  # type: ignore[attr-defined]
+            check_unique_serials(part)
 
 
 @dataclass(frozen=True)
@@ -38,9 +61,19 @@ class ConstraintAutomaton:
 
     constraint: Constraint
     leaves: tuple[Constraint, ...]
+    # Acceptance per state is pure, and schedulers ask it for the same few
+    # states over and over — memoized out-of-band so the dataclass stays
+    # hashable/comparable on its semantic fields only.
+    _accept_cache: dict = field(
+        default_factory=dict, compare=False, repr=False,
+    )
 
     @classmethod
     def build(cls, constraint: Constraint) -> "ConstraintAutomaton":
+        # Validate *before* normalize: pairwise decomposition rewrites a
+        # duplicate-event serial into innocuous-looking orders, hiding the
+        # violation of the unique-event assumption from the leaf check.
+        check_unique_serials(constraint)
         constraint = normalize(constraint)
         leaves: list[Constraint] = []
 
@@ -52,6 +85,18 @@ class ConstraintAutomaton:
                     collect(part)
 
         collect(constraint)
+        for leaf in leaves:
+            if isinstance(leaf, SerialConstraint) and len(set(leaf.events)) != len(
+                leaf.events
+            ):
+                # The sink-state trick below assumes unique events: a
+                # repeated event would match the wrong prefix position and
+                # the DFA would silently accept violating sequences.
+                raise SpecificationError(
+                    "serial constraint repeats an event, violating the "
+                    "unique-event assumption the automaton encoding relies on: "
+                    f"{leaf}"
+                )
         return cls(constraint=constraint, leaves=tuple(leaves))
 
     @property
@@ -85,6 +130,9 @@ class ConstraintAutomaton:
         return _VIOLATED
 
     def accepting(self, state: tuple[int, ...]) -> bool:
+        cached = self._accept_cache.get(state)
+        if cached is not None:
+            return cached
         verdicts: list[bool] = []
         for leaf, leaf_state in zip(self.leaves, state):
             if isinstance(leaf, Primitive):
@@ -108,7 +156,11 @@ class ConstraintAutomaton:
             results = [evaluate(p) for p in c.parts]  # Or
             return any(results)
 
-        return evaluate(self.constraint)
+        verdict = evaluate(self.constraint)
+        if len(self._accept_cache) >= 65536:
+            self._accept_cache.clear()
+        self._accept_cache[state] = verdict
+        return verdict
 
     def accepts(self, sequence: tuple[str, ...]) -> bool:
         state = self.initial()

@@ -33,7 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..constraints.algebra import Constraint
@@ -65,12 +65,19 @@ class CompiledWorkflow:
     goal:
         ``Excise(Apply(C, G))`` — the executable compiled goal, or
         ``¬path`` when the specification is inconsistent.
+    backend:
+        Which engine answers queries over the compiled goal: ``"object"``
+        (the original interpreters, the semantic oracle) or ``"kernel"``
+        (the flat-table programs of :mod:`repro.ctr.kernel`). A runtime
+        preference, not part of the compiled value — excluded from
+        equality and never persisted to the cache.
     """
 
     source: Goal
     constraints: tuple[Constraint, ...]
     applied: Goal
     goal: Goal
+    backend: str = field(default="object", compare=False)
 
     @property
     def consistent(self) -> bool:
@@ -111,19 +118,28 @@ class CompiledWorkflow:
         return self
 
     def scheduler(self, test_hook=None):
-        """A pro-active :class:`~repro.core.scheduler.Scheduler` over the compiled goal."""
-        from .scheduler import Scheduler
+        """A pro-active scheduler over the compiled goal.
+
+        On the ``kernel`` backend this is a
+        :class:`~repro.ctr.kernel.KernelScheduler` over the flat tables —
+        same eligible sets, same schedules, several times faster. A
+        ``test_hook`` (run-time transition conditions) always selects the
+        object :class:`~repro.core.scheduler.Scheduler`.
+        """
+        from .kernel_backend import scheduler_for
 
         self.require_consistent()
-        return Scheduler(self.goal, test_hook=test_hook)
+        return scheduler_for(self.goal, backend=self.backend,
+                             test_hook=test_hook)
 
     def schedules(self, limit: int = 200_000):
         """Iterate over all allowed event sequences (linear time per path)."""
-        from .scheduler import Scheduler
+        from .kernel_backend import scheduler_for
 
         if not self.consistent:
             return iter(())
-        return Scheduler(self.goal).enumerate_schedules(limit=limit)
+        return scheduler_for(self.goal, backend=self.backend) \
+            .enumerate_schedules(limit=limit)
 
 
 # -- the persistent compile cache ---------------------------------------------
@@ -293,6 +309,7 @@ def compile_workflow(
     obs=None,
     cache: CompileCache | str | os.PathLike | None = None,
     jobs: int | None = 1,
+    backend: str | None = None,
 ) -> CompiledWorkflow:
     """Compile a workflow specification ``G ∧ C`` into executable form.
 
@@ -321,13 +338,25 @@ def compile_workflow(
     The assembled workflow is trace-equivalent to (but not structurally
     identical with) the sequential compile; the default ``jobs=1`` is the
     sequential pipeline, bit for bit.
+
+    ``backend`` (``"object"`` | ``"kernel"``, default ``$REPRO_BACKEND``
+    then ``"object"``) selects the query engine the returned workflow's
+    :meth:`~CompiledWorkflow.scheduler`/:meth:`~CompiledWorkflow.schedules`
+    use. ``"kernel"`` additionally lowers the compiled goal to its flat
+    tables eagerly, so lowering errors surface here rather than at first
+    query and the (memoized) program is warm for every later one. The
+    compiled *value* is backend-independent.
     """
+    from .kernel_backend import resolve_backend
+
+    backend = resolve_backend(backend)
     if jobs != 1:
         from .parallel import compile_parallel, resolve_jobs
 
         if resolve_jobs(jobs) > 1:
-            return compile_parallel(goal, constraints, rules=rules, jobs=jobs,
-                                    cache=cache, obs=obs)
+            result = compile_parallel(goal, constraints, rules=rules,
+                                      jobs=jobs, cache=cache, obs=obs)
+            return _with_backend(result, backend)
     cache = CompileCache.coerce(cache)
     key = None
     if cache is not None:
@@ -340,7 +369,7 @@ def compile_workflow(
                 if obs is not None and obs.active and obs.metrics is not None:
                     obs.metrics.inc("compile.cache_hits")
                     _record_compile_metrics(obs.metrics, hit, None)
-                return hit
+                return _with_backend(hit, backend)
         if obs is not None and obs.active and obs.metrics is not None:
             obs.metrics.inc("compile.cache_misses")
 
@@ -361,7 +390,18 @@ def compile_workflow(
         )
     if cache is not None and key is not None:
         cache.store(key, result)
-    return result
+    return _with_backend(result, backend)
+
+
+def _with_backend(result: CompiledWorkflow, backend: str) -> CompiledWorkflow:
+    """Stamp the resolved backend, pre-lowering the goal for ``kernel``."""
+    if backend == "kernel" and result.consistent:
+        from .kernel_backend import kernel_for
+
+        kernel_for(result.goal)
+    if result.backend == backend:
+        return result
+    return replace(result, backend=backend)
 
 
 def _compile_observed(goal, constraints, rules, obs) -> CompiledWorkflow:

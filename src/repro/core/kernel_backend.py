@@ -1,0 +1,405 @@
+"""Backend selection and shared-memory table plumbing for the flat kernel.
+
+Two concerns live here, both downstream of :mod:`repro.ctr.kernel`:
+
+**Backend resolution.** Every query a compiled workflow answers — trace
+enumeration, executability, counting, scheduling, witness extraction — has
+two implementations: the *object* backend (the original interpreters over
+hash-consed goal objects, the semantic oracle) and the *kernel* backend
+(the flat-table programs of :class:`~repro.ctr.kernel.KernelProgram`).
+:func:`resolve_backend` normalizes the ``backend=`` knob threaded through
+:func:`~repro.core.compiler.compile_workflow` /
+:func:`~repro.core.verify.verify_property` / the CLI, consulting
+``$REPRO_BACKEND`` when unset; the dispatch helpers below route one query
+to the chosen implementation. The two backends are differentially tested
+to be bit-identical, so switching is a pure performance decision.
+
+**Shared-memory dispatch.** The parallel fan-outs used to pickle the
+expanded goal into *every* task submitted to the worker pool — for a batch
+of N properties, N copies of the same DAG crossing the process boundary.
+Here the parent exports the goal (its shared-DAG encoding, the same node
+tables :mod:`repro.ctr.serialize` writes to disk) into one
+``multiprocessing.shared_memory`` segment and submits a
+:class:`SharedGoalHandle` — three small strings — instead. Workers attach,
+decode once, and cache per process. Segments are refcounted in the
+creating process (:func:`export_goal` / :func:`release_goal`): concurrent
+fan-outs over the same goal share one segment, and the last release
+unlinks it. Unlink-while-attached is safe on POSIX (the mapping survives;
+the name disappears), so in-flight workers never race the cleanup, and a
+crashed worker cannot leak the segment — the parent owns it.
+:class:`~repro.ctr.kernel.KernelProgram` tables ship the same way
+(:func:`export_program` / :func:`attach_program`) and rebuild zero-copy —
+the worker's arrays are ``memoryview``\\ s into the shared pages.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+from ..ctr.formulas import Goal
+from ..ctr.kernel import KernelProgram, KernelScheduler, lower_goal
+from ..ctr.traces import TraceCount
+from ..errors import SpecificationError
+
+__all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "kernel_for",
+    "traces_of",
+    "is_executable_of",
+    "count_traces_of",
+    "scheduler_for",
+    "SharedGoalHandle",
+    "export_goal",
+    "attach_goal",
+    "release_goal",
+    "export_program",
+    "attach_program",
+    "live_segments",
+    "release_all_segments",
+]
+
+BACKENDS = ("object", "kernel")
+
+_warned_backend_values: set[str] = set()
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalize the ``backend`` knob to ``"object"`` or ``"kernel"``.
+
+    ``None`` consults ``$REPRO_BACKEND`` (unset/empty means ``object``,
+    the oracle default); a malformed environment value degrades to
+    ``object`` with a once-per-process :class:`RuntimeWarning`, while a
+    malformed *explicit* argument is a caller bug and raises.
+    """
+    if backend is None:
+        raw = os.environ.get("REPRO_BACKEND", "")
+        stripped = raw.strip().lower()
+        if not stripped:
+            return "object"
+        if stripped in BACKENDS:
+            return stripped
+        if raw not in _warned_backend_values:
+            _warned_backend_values.add(raw)
+            warnings.warn(
+                f"ignoring REPRO_BACKEND={raw!r}: expected one of {BACKENDS}; "
+                "using the object backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "object"
+    if backend not in BACKENDS:
+        raise SpecificationError(
+            f"unknown backend {backend!r}: expected one of {BACKENDS}"
+        )
+    return backend
+
+
+# One lowering per goal object: goals are hash-consed (interned), so the
+# weak-key memo both deduplicates across callers and dies with the goal.
+_programs: "WeakKeyDictionary[Goal, KernelProgram]" = WeakKeyDictionary()
+
+
+def kernel_for(goal: Goal) -> KernelProgram:
+    """The (memoized) flat kernel program for ``goal``."""
+    program = _programs.get(goal)
+    if program is None:
+        program = lower_goal(goal)
+        _programs[goal] = program
+    return program
+
+
+# -- per-query dispatch --------------------------------------------------------
+
+
+def traces_of(goal: Goal, backend: str | None = None,
+              max_traces: int = 200_000) -> frozenset[tuple[str, ...]]:
+    """All valid event sequences of ``goal`` on the chosen backend."""
+    if resolve_backend(backend) == "kernel":
+        return kernel_for(goal).traces(max_traces=max_traces)
+    from ..ctr.traces import traces
+
+    return traces(goal, max_traces=max_traces)
+
+
+def is_executable_of(goal: Goal, backend: str | None = None,
+                     max_traces: int = 200_000) -> bool:
+    """Does ``goal`` have at least one valid execution?"""
+    if resolve_backend(backend) == "kernel":
+        return kernel_for(goal).is_executable(max_traces=max_traces)
+    from ..ctr.traces import is_executable
+
+    return is_executable(goal, max_traces=max_traces)
+
+
+def count_traces_of(goal: Goal, backend: str | None = None,
+                    max_traces: int = 200_000) -> TraceCount:
+    """Distinct valid event sequences of ``goal``, saturating at budget."""
+    if resolve_backend(backend) == "kernel":
+        return kernel_for(goal).count_traces(max_traces=max_traces)
+    from ..ctr.traces import count_traces
+
+    return count_traces(goal, max_traces=max_traces)
+
+
+def scheduler_for(goal: Goal, backend: str | None = None, test_hook=None):
+    """A scheduler over ``goal`` on the chosen backend.
+
+    Run-time transition conditions (``test_hook``) need live goal objects,
+    so a hook always selects the object scheduler regardless of backend —
+    the kernel lowering treats every :class:`~repro.ctr.formulas.Test` as
+    statically passable.
+    """
+    if test_hook is None and resolve_backend(backend) == "kernel":
+        return KernelScheduler(kernel_for(goal))
+    from .scheduler import Scheduler
+
+    return Scheduler(goal, test_hook=test_hook)
+
+
+# -- shared-memory segments ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedGoalHandle:
+    """A pickle-light reference to a shared-memory payload.
+
+    ``kind`` distinguishes goal blobs (shared-DAG JSON) from kernel
+    program tables (the :meth:`~repro.ctr.kernel.KernelProgram.to_bytes`
+    layout); ``size`` is the payload length (segments round up to page
+    multiples, so the true length must travel with the name).
+    """
+
+    name: str
+    size: int
+    kind: str = "goal"
+
+
+# Creator-side registry: segment name -> [shm, refcount]. The *creating*
+# process owns unlinking; workers only ever attach and close.
+_segments: dict[str, list] = {}
+_segments_lock = threading.Lock()
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def _create_segment(payload: bytes, kind: str) -> SharedGoalHandle:
+    shm = _shared_memory().SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    with _segments_lock:
+        _segments[shm.name] = [shm, 1]
+    return SharedGoalHandle(name=shm.name, size=len(payload), kind=kind)
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without adopting ownership.
+
+    ``SharedMemory(name=...)`` on Python < 3.13 registers the attachment
+    with this process's ``resource_tracker``, which would unlink the
+    creator's segment when *this* process exits and warn about a leak it
+    does not own. 3.13 grew ``track=False`` for exactly this; older
+    interpreters suppress the registration instead. (Suppressing beats
+    attach-then-``unregister``: workers share the creator's tracker
+    process, so an explicit unregister would erase the creator's own
+    registration and make its eventual unlink double-unregister.)
+    """
+    shared_memory = _shared_memory()
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name, rtype):  # pragma: no cover - 3.13+ never here
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def export_goal(goal: Goal) -> SharedGoalHandle | None:
+    """Publish ``goal``'s shared-DAG encoding to a shared-memory segment.
+
+    Re-exporting a goal whose segment is still live bumps its refcount and
+    returns the same handle, so overlapping fan-outs share one segment.
+    Returns ``None`` when shared memory is unavailable (no ``/dev/shm``,
+    permissions) — callers fall back to pickling the goal itself.
+    """
+    with _segments_lock:
+        for name, entry in _segments.items():
+            handle = entry[2] if len(entry) > 2 else None
+            if handle is not None and entry[3] is goal:
+                entry[1] += 1
+                return handle
+    try:
+        from ..ctr.serialize import goal_to_shared_dict
+
+        payload = json.dumps(
+            goal_to_shared_dict(goal), separators=(",", ":")
+        ).encode("utf-8")
+        handle = _create_segment(payload, "goal")
+    except (OSError, ValueError):
+        return None
+    with _segments_lock:
+        entry = _segments.get(handle.name)
+        if entry is not None:
+            entry.extend([handle, goal])
+    return handle
+
+
+def export_program(program: KernelProgram) -> SharedGoalHandle | None:
+    """Publish a kernel program's flat tables to a shared-memory segment."""
+    try:
+        return _create_segment(program.to_bytes(), "program")
+    except (OSError, ValueError):
+        return None
+
+
+def release_goal(handle: SharedGoalHandle | None) -> None:
+    """Drop one reference; the last release closes *and unlinks* the segment.
+
+    Idempotent past zero and silent on unknown names, so cleanup paths can
+    release unconditionally (including after a worker crash — the parent
+    still owns the segment and this is what reclaims it).
+    """
+    if handle is None:
+        return
+    with _segments_lock:
+        entry = _segments.get(handle.name)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] > 0:
+            return
+        del _segments[handle.name]
+        shm = entry[0]
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments this process currently owns (for leak tests)."""
+    with _segments_lock:
+        return tuple(_segments)
+
+
+def release_all_segments() -> None:
+    """Unconditionally reclaim every owned segment (atexit safety net)."""
+    with _segments_lock:
+        entries = list(_segments.values())
+        _segments.clear()
+    for entry in entries:
+        try:
+            entry[0].close()
+            entry[0].unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+import atexit  # noqa: E402  (registered after the functions it needs)
+
+atexit.register(release_all_segments)
+
+
+# Worker-side attach caches: a fan-out submits many tasks against one
+# segment; decode/map the payload once per process, not once per task.
+# Bounded because segment names are single-use (never reused after unlink).
+_attached_goals: dict[str, Goal] = {}
+_ATTACH_CACHE_MAX = 64
+
+
+def attach_goal(handle: SharedGoalHandle) -> Goal:
+    """Rebuild (and re-intern) the goal published under ``handle``.
+
+    The goal is decoded from a snapshot of the payload and the segment
+    closed immediately — goal objects must outlive the creator's unlink.
+    """
+    cached = _attached_goals.get(handle.name)
+    if cached is not None:
+        return cached
+    shm = _attach_segment(handle.name)
+    try:
+        payload = bytes(shm.buf[: handle.size])
+    finally:
+        shm.close()
+    from ..ctr.serialize import goal_from_shared_dict
+
+    goal = goal_from_shared_dict(json.loads(payload.decode("utf-8")))
+    if len(_attached_goals) >= _ATTACH_CACHE_MAX:
+        _attached_goals.clear()
+    _attached_goals[handle.name] = goal
+    return goal
+
+
+# Programs are the zero-copy case: their arrays are memoryviews into the
+# mapping, so the SharedMemory object is cached alongside the program and
+# the mapping stays open for the worker's lifetime (closing it would
+# invalidate the views; the pages are reclaimed when the process exits,
+# and the *name* was already unlinked by the creator).
+_attached_programs: dict[str, tuple] = {}
+
+
+def attach_program(handle: SharedGoalHandle) -> KernelProgram:
+    """Map the kernel program published under ``handle``, zero-copy.
+
+    The returned program's tables are ``memoryview``\\ s into the shared
+    pages — nothing is copied but the header — so every worker executes
+    the creator's single set of frozen tables.
+    """
+    cached = _attached_programs.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    shm = _attach_segment(handle.name)
+    program = KernelProgram.from_buffer(shm.buf[: handle.size])
+    _attached_programs[handle.name] = (shm, program)
+    return program
+
+
+def _close_attached_programs() -> None:
+    """Release mapped-table views, then the mappings (interpreter exit only).
+
+    Without this, ``SharedMemory.__del__`` hits ``BufferError: cannot
+    close exported pointers exist`` during teardown — the program's table
+    views still point into the mapping.
+    """
+    for shm, program in _attached_programs.values():
+        for name in ("kinds", "args", "lens", "children"):
+            table = getattr(program, name, None)
+            if isinstance(table, memoryview):
+                table.release()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+    _attached_programs.clear()
+
+
+atexit.register(_close_attached_programs)
+
+
+def resolve_shared_goal(goal_or_handle) -> Goal:
+    """Worker-side coercion: a handle attaches, a goal passes through.
+
+    This is what lets every pool entry point accept either form — the
+    shared-memory fast path and the pickle fallback share one signature.
+    """
+    if isinstance(goal_or_handle, SharedGoalHandle):
+        return attach_goal(goal_or_handle)
+    return goal_or_handle

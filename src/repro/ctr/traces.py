@@ -89,20 +89,30 @@ def _shuffle_pair(xs: tuple, ys: tuple) -> frozenset:
     return frozenset(out)
 
 
-def _shuffle_sets(trace_sets: list[frozenset]) -> frozenset:
+def _shuffle_sets(trace_sets: list[frozenset], budget: list[int]) -> frozenset:
     result: frozenset = frozenset(((),))
     for ts in trace_sets:
         merged = set()
         for left in result:
             for right in ts:
-                merged |= _shuffle_pair(left, right)
+                pair = _shuffle_pair(left, right)
+                # Charge interleavings as they are *generated*, before
+                # dedup/filtering: the budget bounds work done, not just
+                # sequences that happen to survive.
+                budget[0] -= len(pair)
+                if budget[0] < 0:
+                    raise TooManyTracesError(budget[1])
+                merged |= pair
         result = frozenset(merged)
     return result
 
 
-def _concat_sets(trace_sets: list[frozenset]) -> frozenset:
+def _concat_sets(trace_sets: list[frozenset], budget: list[int]) -> frozenset:
     result: frozenset = frozenset(((),))
     for ts in trace_sets:
+        budget[0] -= len(result) * len(ts)
+        if budget[0] < 0:
+            raise TooManyTracesError(budget[1])
         result = frozenset(left + right for left in result for right in ts)
     return result
 
@@ -133,11 +143,13 @@ def _step_traces(goal: Goal, budget: list[int]) -> frozenset:
         for t in inner:
             wrapped.add((_Block(t),) if len(t) > 1 else t)
         return frozenset(wrapped)
-    if isinstance(goal, Serial):
-        result = _concat_sets([_step_traces(p, budget) for p in goal.parts])
-    elif isinstance(goal, Concurrent):
-        result = _shuffle_sets([_step_traces(p, budget) for p in goal.parts])
-    elif isinstance(goal, Choice):
+    if isinstance(goal, (Serial, Concurrent)):
+        # Generation is charged inside the set combinators (it dominates
+        # the surviving-result size, so a second node-level charge would
+        # only double-count the same work).
+        combine = _concat_sets if isinstance(goal, Serial) else _shuffle_sets
+        return combine([_step_traces(p, budget) for p in goal.parts], budget)
+    if isinstance(goal, Choice):
         merged: set = set()
         for p in goal.parts:
             merged |= _step_traces(p, budget)
@@ -183,13 +195,20 @@ def traces(goal: Goal, max_traces: int = 200_000) -> frozenset[tuple[str, ...]]:
     :class:`TooManyTracesError` rather than consuming unbounded memory.
     """
     budget = [max_traces, max_traces]
-    raw = _step_traces(goal, budget)
-    out = set()
-    for t in raw:
-        projected = _validate_and_project(t)
-        if projected is not None:
-            out.add(projected)
-    return frozenset(out)
+    try:
+        raw = _step_traces(goal, budget)
+        out = set()
+        for t in raw:
+            projected = _validate_and_project(t)
+            if projected is not None:
+                out.add(projected)
+        return frozenset(out)
+    finally:
+        # Bound the module-level shuffle cache between enumerations: one
+        # wide goal can park tens of thousands of interleaving frozensets
+        # in it, which a long test session would otherwise retain forever.
+        if _shuffle_pair.cache_info().currsize > 8192:
+            _shuffle_pair.cache_clear()
 
 
 # -- lazy enumeration ----------------------------------------------------------

@@ -65,6 +65,45 @@ class TestConstraintAutomaton:
             assert dfa.accepts(sequence) == satisfies(sequence, constraint)
 
 
+class TestNestedAcceptance:
+    """Regression: acceptance over nested Or/And combinations.
+
+    ``conj``/``disj`` flatten only same-kind nestings, so an Or inside an
+    And (and vice versa) survives into the automaton's acceptance
+    evaluation — exactly the shapes the memoized ``accepting()`` walks.
+    """
+
+    def test_or_inside_and(self):
+        constraint = conj(disj(must("a"), must("b")), disj(must("c"), absent("a")))
+        dfa = ConstraintAutomaton.build(constraint)
+        for sequence in all_sequences(("a", "b", "c"), max_len=3):
+            assert dfa.accepts(sequence) == satisfies(sequence, constraint)
+        assert dfa.accepts(("b",))
+        assert dfa.accepts(("a", "c"))
+        assert not dfa.accepts(("a",))
+        assert not dfa.accepts(())
+
+    def test_and_inside_or(self):
+        constraint = disj(conj(must("a"), order("b", "c")), conj(absent("b"), must("d")))
+        dfa = ConstraintAutomaton.build(constraint)
+        for sequence in all_sequences(max_len=4):
+            assert dfa.accepts(sequence) == satisfies(sequence, constraint)
+        assert dfa.accepts(("a", "b", "c"))
+        assert dfa.accepts(("d",))
+        assert not dfa.accepts(("a", "c", "b"))
+        assert not dfa.accepts(("b", "d"))
+
+    def test_accepting_memoized(self):
+        dfa = ConstraintAutomaton.build(conj(disj(must("a"), must("b")), must("c")))
+        state = dfa.initial()
+        first = dfa.accepting(state)
+        assert dfa._accept_cache
+        assert dfa.accepting(state) == first
+        state = dfa.step(dfa.step(state, "a"), "c")
+        assert dfa.accepting(state)
+        assert dfa.accepting(state)
+
+
 class TestProductAutomaton:
     def test_product_accepts_intersection(self):
         product = ProductAutomaton.build([order("a", "b"), absent("c")])

@@ -1,6 +1,6 @@
 """Tests for constraint-set minimization."""
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.constraints.algebra import must, order
@@ -11,7 +11,7 @@ from repro.core.excise import excise
 from repro.core.verify import redundant_constraints
 from repro.ctr.formulas import atoms, event_names
 from repro.ctr.simplify import is_failure
-from repro.ctr.traces import traces
+from repro.ctr.traces import TooManyTracesError, count_traces, traces
 from repro.workflows.release import release_specification
 from tests.conftest import constraints_over, unique_event_goals
 
@@ -79,8 +79,17 @@ class TestMinimizeProperties:
         if len(events) == 1:
             events = events + ("e_other",)
         constraints = [data.draw(constraints_over(events)) for _ in range(3)]
+        # Sync tokens can make the trace set explode combinatorially; skip
+        # such examples up front (saturated count) or when a constrained
+        # compile still blows the enumeration budget.
+        assume(count_traces(goal, max_traces=20_000).exact)
         minimal = minimize_constraints(goal, constraints)
-        assert legal_traces(goal, minimal) == legal_traces(goal, constraints)
+        try:
+            before = legal_traces(goal, constraints)
+            after = legal_traces(goal, minimal)
+        except TooManyTracesError:
+            assume(False)
+        assert after == before
         assert len(minimal) <= len(constraints)
 
     @settings(max_examples=20, deadline=None)
